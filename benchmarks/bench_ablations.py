@@ -1,0 +1,45 @@
+"""Ablation benches: support cap, search strategy, formula growth."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    ablate_formula_growth,
+    ablate_strategy,
+    ablate_support_cap,
+)
+
+
+def test_support_cap(benchmark):
+    rows = run_once(
+        benchmark, ablate_support_cap,
+        instance_name="queen5_5", k=6, caps=(4, 64), time_limit=20.0,
+    )
+    print()
+    for r in rows:
+        print(f"  cap={r.cap}: +{r.clauses_added} clauses, {r.seconds:.2f}s, {r.status}")
+    assert rows[0].clauses_added <= rows[1].clauses_added
+    assert all(r.status in ("OPTIMAL", "SAT") for r in rows)
+
+
+def test_strategy(benchmark):
+    rows = run_once(
+        benchmark, ablate_strategy, instance_name="queen5_5", k=6, time_limit=20.0,
+    )
+    print()
+    for r in rows:
+        print(f"  {r.strategy}: {r.seconds:.2f}s {r.status} value={r.value}")
+    values = {r.value for r in rows if r.status == "OPTIMAL"}
+    assert len(values) <= 1  # strategies agree on the optimum
+
+
+def test_formula_growth(benchmark, bench_scale):
+    rows = run_once(benchmark, ablate_formula_growth, bench_scale)
+    print()
+    for r in rows:
+        print(f"  {r.sbp_kind:6s} vars={r.num_vars} clauses={r.num_clauses} "
+              f"pb={r.num_pb} growth={r.growth_vs_none:.2f}x")
+    by_kind = {r.sbp_kind: r for r in rows}
+    # Section 3.3: LI roughly doubles the formula; NU/SC are almost free.
+    assert by_kind["li"].growth_vs_none > 1.5
+    assert by_kind["nu"].growth_vs_none < 1.05
+    assert by_kind["sc"].growth_vs_none < 1.05

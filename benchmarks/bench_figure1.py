@@ -1,0 +1,16 @@
+"""Regenerate Figure 1: SBP strength on the paper's worked example."""
+
+from conftest import run_once
+
+from repro.experiments.figure1 import figure1_counts, render_figure1
+
+
+def test_figure1(benchmark):
+    rows = run_once(benchmark, figure1_counts)
+    print()
+    print(render_figure1(rows))
+    by_kind = {r.sbp_kind: r for r in rows}
+    assert by_kind["none"].optimal_allowed == 48
+    assert by_kind["nu"].optimal_allowed == 12
+    assert by_kind["ca"].optimal_allowed == 4
+    assert by_kind["li"].optimal_allowed == 2

@@ -1,0 +1,61 @@
+"""Section 4.3 comparison bench: our pipeline vs the problem-specific
+comparators (Coudert 1997, Benhamou 2004) and the alternative ILP
+formulation (Mehrotra & Trick 1996), plus the repeated-SAT route the
+paper argues against in Section 2.3.
+
+The paper's common data points are queens and myciel instances; this
+bench reports all pipelines on the same instances and asserts they
+agree on the chromatic number (the paper's Table-free comparison is
+about runtimes; ours checks consistency and records the times).
+"""
+
+import pytest
+
+from repro.coloring.coudert import coudert_chromatic_number
+from repro.coloring.mehrotra_trick import mt_chromatic_number
+from repro.coloring.necsp import necsp_chromatic_number
+from repro.coloring.sat_pipeline import chromatic_number_sat
+from repro.coloring.solve import solve_coloring
+from repro.experiments.instances import get_instance
+
+CASES = [("myciel3", 4), ("myciel4", 5), ("queen5_5", 5)]
+
+
+@pytest.mark.parametrize("name,chi", CASES)
+def test_coudert(benchmark, name, chi):
+    graph = get_instance(name).graph()
+    result = benchmark(lambda: coudert_chromatic_number(graph, time_limit=30))
+    assert result.chromatic_number == chi
+
+
+@pytest.mark.parametrize("name,chi", CASES)
+def test_necsp(benchmark, name, chi):
+    graph = get_instance(name).graph()
+    result = benchmark(lambda: necsp_chromatic_number(graph, time_limit=30))
+    assert result.chromatic_number == chi
+
+
+@pytest.mark.parametrize("name,chi", [("myciel3", 4), ("queen5_5", 5)])
+def test_mehrotra_trick(benchmark, name, chi):
+    graph = get_instance(name).graph()
+    result = benchmark(lambda: mt_chromatic_number(graph, time_limit=60))
+    assert result.chromatic_number == chi
+
+
+@pytest.mark.parametrize("name,chi", CASES)
+def test_repeated_sat(benchmark, name, chi):
+    graph = get_instance(name).graph()
+    result = benchmark(
+        lambda: chromatic_number_sat(graph, sbp_kind="nu", time_limit=60)
+    )
+    assert result.chromatic_number == chi
+
+
+@pytest.mark.parametrize("name,chi", CASES)
+def test_ilp_pipeline(benchmark, name, chi):
+    graph = get_instance(name).graph()
+    result = benchmark(
+        lambda: solve_coloring(graph, chi + 2, solver="pbs2",
+                               sbp_kind="nu+sc", time_limit=60)
+    )
+    assert result.num_colors == chi

@@ -1,0 +1,69 @@
+"""Microbenchmarks of the solver substrates (not tied to a paper table).
+
+These track the performance of the pieces everything else is built on:
+unit propagation throughput, pigeonhole refutation, PB propagation,
+encoding construction and symmetry detection.
+"""
+
+from repro.coloring.encoding import encode_coloring
+from repro.core.formula import Formula
+from repro.graphs.generators import queens_graph
+from repro.pb.engine import PBSolver
+from repro.sat.cdcl import solve_formula
+from repro.symmetry.detect import detect_symmetries
+
+
+def _pigeonhole(pigeons, holes):
+    f = Formula()
+    x = {(p, h): f.new_var() for p in range(pigeons) for h in range(holes)}
+    for p in range(pigeons):
+        f.add_clause([x[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                f.add_clause([-x[p1, h], -x[p2, h]])
+    return f
+
+
+def test_cdcl_pigeonhole(benchmark):
+    f = _pigeonhole(7, 6)
+    result = benchmark(lambda: solve_formula(f))
+    assert result.is_unsat
+
+
+def test_cdcl_implication_chain(benchmark):
+    f = Formula(num_vars=2000)
+    for i in range(1, 2000):
+        f.add_clause([-i, i + 1])
+    f.add_clause([1])
+    result = benchmark(lambda: solve_formula(f))
+    assert result.is_sat
+
+
+def test_pb_cardinality_propagation(benchmark):
+    def build_and_solve():
+        f = Formula(num_vars=300)
+        f.add_at_least(list(range(1, 301)), 299)
+        f.add_clause([-7])
+        solver = PBSolver()
+        solver.add_formula(f)
+        return solver.solve()
+
+    result = benchmark(build_and_solve)
+    assert result.is_sat
+
+
+def test_encoding_construction(benchmark):
+    graph = queens_graph(8, 8)
+    encoding = benchmark(lambda: encode_coloring(graph, 10))
+    assert encoding.formula.num_vars == 64 * 10 + 10
+
+
+def test_symmetry_detection_queen5(benchmark):
+    formula = encode_coloring(queens_graph(5, 5), 6).formula
+
+    def detect():
+        return detect_symmetries(formula, compute_order=False)
+
+    report = benchmark(detect)
+    assert report.num_generators > 0

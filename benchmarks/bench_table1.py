@@ -1,0 +1,16 @@
+"""Regenerate Table 1: benchmark statistics + measured chromatic numbers."""
+
+from conftest import run_once
+
+from repro.experiments.tables import render_table1, table1
+
+
+def test_table1(benchmark, bench_scale):
+    rows = run_once(benchmark, table1, bench_scale, per_instance_budget=5.0)
+    print()
+    print(render_table1(rows, bench_scale.k_primary))
+    by_name = {r.name: r for r in rows}
+    # Exact families must reproduce the published chromatic numbers.
+    assert by_name["myciel3"].measured_chi == 4
+    assert by_name["myciel4"].measured_chi == 5
+    assert by_name["queen5_5"].measured_chi == 5

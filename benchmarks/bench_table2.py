@@ -1,0 +1,19 @@
+"""Regenerate Table 2: formula sizes, symmetry counts, detection time."""
+
+from conftest import run_once
+
+from repro.experiments.tables import render_table2, table2
+
+
+def test_table2(benchmark, bench_scale):
+    rows = run_once(benchmark, table2, bench_scale)
+    print()
+    print(render_table2(rows))
+    by_kind = {r.sbp_kind: r for r in rows}
+    # Paper trends: NU/CA shrink the group, LI leaves only the identity,
+    # SC barely changes it, detection is fastest once symmetry is gone.
+    assert by_kind["li"].order == len(bench_scale.instance_names)
+    assert by_kind["nu"].order < by_kind["none"].order
+    assert by_kind["ca"].order < by_kind["none"].order
+    assert by_kind["sc"].order > by_kind["nu"].order
+    assert by_kind["li"].detection_seconds <= by_kind["none"].detection_seconds

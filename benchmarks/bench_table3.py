@@ -1,0 +1,17 @@
+"""Regenerate Table 3: solver x SBP grid at the primary color budget."""
+
+from conftest import run_once
+
+from repro.experiments.tables import render_solver_table, table3
+
+
+def test_table3(benchmark, bench_scale):
+    table = run_once(benchmark, table3, bench_scale)
+    print()
+    print(render_solver_table(table, bench_scale.solvers))
+    # Paper trend: instance-dependent SBPs never solve fewer instances
+    # than the bare encoding for the specialized solvers.
+    for solver in bench_scale.solvers:
+        bare = table.cells[("none", solver, False)]
+        with_sbps = table.cells[("none", solver, True)]
+        assert with_sbps.num_solved >= bare.num_solved

@@ -1,0 +1,23 @@
+"""Regenerate Table 5 (Appendix): per-instance queens results."""
+
+from conftest import run_once
+
+from repro.experiments.instances import ScalePreset
+from repro.experiments.tables import render_table5, table5
+
+QUEENS_SCALE = ScalePreset(
+    name="bench-queens", instance_names=("queen5_5",),
+    k_primary=7, k_secondary=9, time_limit=5.0,
+    detection_node_limit=20000, solvers=("pbs2", "pueblo"),
+)
+
+
+def test_table5(benchmark):
+    records = run_once(benchmark, table5, QUEENS_SCALE)
+    print()
+    print(render_table5(records, QUEENS_SCALE.time_limit))
+    # queen5_5 at K=7 is easy with symmetry breaking: at least the
+    # NU+SC and instance-dependent configurations must solve it.
+    solved = {(r.sbp_kind, r.instance_dependent) for r in records if r.solved}
+    assert ("nu+sc", False) in solved
+    assert any(inst_dep for (_, inst_dep) in solved)

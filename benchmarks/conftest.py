@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at the
+``bench`` scale (seconds per table) and prints the reproduced rows, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+run.  Use ``python -m repro.experiments all --scale small|paper`` for
+the larger-scale versions.
+"""
+
+import pytest
+
+from repro.experiments.instances import get_scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return get_scale("bench")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a table driver exactly once under the benchmark timer.
+
+    Table drivers are minutes-long compared to microbenchmarks; a single
+    timed round keeps the harness usable while still recording the
+    regeneration cost.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Radio frequency assignment via graph coloring (paper Section 2.1).
+
+Each geographic region needing F frequencies becomes an F-clique; all
+bipartite edges are added between adjacent regions.  The paper points
+out that this reduction *introduces extra instance-independent
+symmetries* — the vertices of a region's clique are interchangeable —
+on top of the color symmetries; this example shows both being detected
+and broken.
+
+Run:  python examples/frequency_assignment.py
+"""
+
+import itertools
+
+from repro.coloring import encode_coloring, solve_coloring
+from repro.graphs import Graph
+from repro.symmetry import detect_symmetries
+
+# (region, frequencies needed); adjacency = overlapping broadcast areas.
+REGIONS = [("north", 2), ("east", 3), ("south", 2), ("west", 2), ("center", 3)]
+ADJACENT = [
+    ("north", "east"), ("north", "west"), ("north", "center"),
+    ("east", "south"), ("east", "center"),
+    ("south", "west"), ("south", "center"), ("west", "center"),
+]
+
+
+def build_graph():
+    """Reduce the assignment problem to coloring, per the paper."""
+    vertex_of = {}
+    graph = Graph(0, name="radio")
+    for region, demand in REGIONS:
+        vertex_of[region] = [graph.add_vertex() for _ in range(demand)]
+        for u, v in itertools.combinations(vertex_of[region], 2):
+            graph.add_edge(u, v)  # one distinct frequency per demand
+    for a, b in ADJACENT:
+        for u in vertex_of[a]:
+            for v in vertex_of[b]:
+                graph.add_edge(u, v)  # adjacent regions never share
+    return graph, vertex_of
+
+
+def main() -> None:
+    graph, vertex_of = build_graph()
+    print(f"reduced instance: {graph}")
+
+    # The reduction's symmetries: colors always permute; additionally
+    # each region's clique vertices are interchangeable.
+    encoding = encode_coloring(graph, 8)
+    report = detect_symmetries(encoding.formula, node_limit=50000)
+    print(f"symmetries of the encoded instance: #S={report.order:.3g} "
+          f"(#G={report.num_generators}) — includes the per-region "
+          f"vertex swaps the paper predicts")
+
+    result = solve_coloring(graph, 8, solver="pbs2", sbp_kind="nu+sc",
+                            instance_dependent=True, time_limit=60)
+    print(f"\nminimum number of frequencies: {result.num_colors} ({result.status})")
+    for region, vertices in vertex_of.items():
+        freqs = sorted(result.coloring[v] for v in vertices)
+        print(f"  {region:7s}: frequencies {freqs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package
+that PEP 660 editable installs require, so `pip install -e .` uses the
+legacy setuptools develop path via this file."""
+from setuptools import setup
+
+setup()

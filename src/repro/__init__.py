@@ -1,0 +1,50 @@
+"""repro — reproduction of "Breaking Instance-Independent Symmetries in
+Exact Graph Coloring" (Ramani, Aloul, Markov & Sakallah; DATE 2004 /
+JAIR 2006).
+
+The package is organized bottom-up:
+
+* :mod:`repro.core`     — CNF/PB formulas and I/O
+* :mod:`repro.sat`      — CDCL SAT solver
+* :mod:`repro.pb`       — pseudo-Boolean (0-1 ILP) solver + optimizer
+* :mod:`repro.ilp`      — generic LP-based branch and bound (CPLEX profile)
+* :mod:`repro.graphs`   — graph ADT, DIMACS families, heuristics
+* :mod:`repro.symmetry` — automorphism detection and group machinery
+* :mod:`repro.sbp`      — symmetry-breaking predicate constructions
+* :mod:`repro.coloring` — the paper's coloring pipeline
+* :mod:`repro.experiments` — drivers regenerating every table/figure
+
+Quickstart::
+
+    from repro.graphs import queens_graph
+    from repro.coloring import solve_coloring
+
+    result = solve_coloring(queens_graph(5, 5), num_colors=7,
+                            sbp_kind="nu+sc", solver="pbs2")
+    assert result.status == "OPTIMAL" and result.num_colors == 5
+"""
+
+from .coloring import (
+    ColoringSolveResult,
+    exact_chromatic_number,
+    find_chromatic_number,
+    solve_coloring,
+)
+from .core import Formula
+from .graphs import Graph
+from .sbp import apply_sbp
+from .symmetry import detect_symmetries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ColoringSolveResult",
+    "Formula",
+    "Graph",
+    "apply_sbp",
+    "detect_symmetries",
+    "exact_chromatic_number",
+    "find_chromatic_number",
+    "solve_coloring",
+    "__version__",
+]

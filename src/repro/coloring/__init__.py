@@ -1,0 +1,85 @@
+"""Exact graph coloring: encoding, solving, decoding and baselines."""
+
+from .coudert import CoudertResult, coudert_chromatic_number
+from .encoding import (
+    ColoringEncoding,
+    decode_coloring,
+    encode_coloring,
+    normalize_coloring,
+    used_colors,
+)
+from .exact_dsatur import ExactColoringResult, exact_chromatic_number
+from .mehrotra_trick import (
+    MTResult,
+    build_mt_formula,
+    maximal_independent_sets,
+    mt_chromatic_number,
+)
+from .enumerate import count_colorings, distinct_colorings, enumerate_models
+from .necsp import (
+    NECSPOptimum,
+    NECSPResult,
+    necsp_chromatic_number,
+    solve_necsp,
+)
+from .reduce import (
+    Kernel,
+    ReducedSolve,
+    extend_coloring,
+    peel_low_degree,
+    solve_with_reduction,
+)
+from .sat_pipeline import (
+    SatPipelineResult,
+    chromatic_number_sat,
+    encode_k_coloring_cnf,
+    sat_k_colorable,
+)
+from .solve import (
+    ColoringSolveResult,
+    SOLVER_NAMES,
+    find_chromatic_number,
+    prepare_formula,
+    solve_coloring,
+)
+from .verify import check_proper, color_class_sizes, is_proper
+
+__all__ = [
+    "ColoringEncoding",
+    "ColoringSolveResult",
+    "CoudertResult",
+    "ExactColoringResult",
+    "Kernel",
+    "MTResult",
+    "ReducedSolve",
+    "count_colorings",
+    "distinct_colorings",
+    "enumerate_models",
+    "extend_coloring",
+    "peel_low_degree",
+    "solve_with_reduction",
+    "NECSPOptimum",
+    "NECSPResult",
+    "SOLVER_NAMES",
+    "SatPipelineResult",
+    "build_mt_formula",
+    "chromatic_number_sat",
+    "coudert_chromatic_number",
+    "encode_k_coloring_cnf",
+    "maximal_independent_sets",
+    "mt_chromatic_number",
+    "necsp_chromatic_number",
+    "sat_k_colorable",
+    "solve_necsp",
+    "check_proper",
+    "color_class_sizes",
+    "decode_coloring",
+    "encode_coloring",
+    "exact_chromatic_number",
+    "find_chromatic_number",
+    "is_proper",
+    "normalize_coloring",
+    "prepare_formula",
+    "solve_coloring",
+    "used_colors",
+]

@@ -1,0 +1,124 @@
+"""Kernelization for K-coloring: shrink the instance before encoding.
+
+Two classical reductions, both exact for the *decision* problem
+"is G K-colorable?":
+
+* **low-degree peeling** — a vertex with degree < K can always be
+  colored last (some color is free), so it can be removed; iterate to a
+  fixpoint (this deletes everything outside the (K-1)-core);
+* **component split** — color connected components independently.
+
+``kernelize`` applies both and can reconstruct a full coloring from a
+coloring of the kernel; ``solve_with_reduction`` wraps the main solver
+with the reduction.  On sparse benchmarks (books, miles) the kernel is
+dramatically smaller than the input, which is exactly why the paper's
+"realistic graphs are relatively sparse" instances are tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graphs.analysis import connected_components
+from ..graphs.graph import Graph
+
+
+@dataclass
+class Kernel:
+    """A reduced K-coloring instance plus the undo information."""
+
+    graph: Graph  # the kernel graph (possibly empty)
+    k: int
+    kernel_to_original: List[int]
+    peeled: List[Tuple[int, List[int]]] = field(default_factory=list)
+    # peeled entries are (original vertex, original neighbor list) in
+    # removal order; re-coloring replays them in reverse.
+
+    @property
+    def fully_reduced(self) -> bool:
+        """True when peeling alone proves K-colorability."""
+        return self.graph.num_vertices == 0
+
+
+def peel_low_degree(graph: Graph, k: int) -> Kernel:
+    """Remove vertices of degree < k to a fixpoint (the (k-1)-core)."""
+    n = graph.num_vertices
+    alive = [True] * n
+    degree = [graph.degree(v) for v in range(n)]
+    stack = [v for v in range(n) if degree[v] < k]
+    peeled: List[Tuple[int, List[int]]] = []
+    while stack:
+        v = stack.pop()
+        if not alive[v] or degree[v] >= k:
+            continue
+        alive[v] = False
+        peeled.append((v, [w for w in graph.neighbors(v) if alive[w]]))
+        for w in graph.neighbors(v):
+            if alive[w]:
+                degree[w] -= 1
+                if degree[w] < k:
+                    stack.append(w)
+    survivors = [v for v in range(n) if alive[v]]
+    kernel_graph = graph.subgraph(survivors)
+    kernel_graph.name = f"{graph.name}-core{k}" if graph.name else ""
+    return Kernel(kernel_graph, k, survivors, peeled)
+
+
+def extend_coloring(kernel: Kernel, kernel_coloring: Dict[int, int]) -> Dict[int, int]:
+    """Lift a kernel coloring back to the original graph.
+
+    Peeled vertices are re-inserted in reverse removal order; each had
+    degree < k at removal time, so a free color always exists.
+    """
+    coloring: Dict[int, int] = {
+        kernel.kernel_to_original[v]: c for v, c in kernel_coloring.items()
+    }
+    for v, neighbors in reversed(kernel.peeled):
+        used = {coloring[w] for w in neighbors if w in coloring}
+        color = next(c for c in range(1, kernel.k + 1) if c not in used)
+        coloring[v] = color
+    return coloring
+
+
+@dataclass
+class ReducedSolve:
+    """Outcome of :func:`solve_with_reduction`."""
+
+    status: str
+    coloring: Optional[Dict[int, int]]
+    kernel_vertices: int
+    original_vertices: int
+    components_solved: int
+
+
+def solve_with_reduction(
+    graph: Graph,
+    k: int,
+    decide,
+) -> ReducedSolve:
+    """Decide K-colorability with peeling + component decomposition.
+
+    ``decide(subgraph, k)`` must return ``(status, coloring-or-None)``
+    with status in {"SAT", "UNSAT", "UNKNOWN"}; it is invoked only on
+    the nontrivial kernel components.
+    """
+    kernel = peel_low_degree(graph, k)
+    if kernel.fully_reduced:
+        coloring = extend_coloring(kernel, {})
+        return ReducedSolve("SAT", coloring, 0, graph.num_vertices, 0)
+    kernel_coloring: Dict[int, int] = {}
+    components = connected_components(kernel.graph)
+    solved = 0
+    for component in components:
+        sub = kernel.graph.subgraph(component)
+        status, sub_coloring = decide(sub, k)
+        if status != "SAT":
+            return ReducedSolve(status, None, kernel.graph.num_vertices,
+                                graph.num_vertices, solved)
+        solved += 1
+        for local, original in enumerate(component):
+            kernel_coloring[original] = sub_coloring[local]
+    coloring = extend_coloring(kernel, kernel_coloring)
+    return ReducedSolve("SAT", coloring, kernel.graph.num_vertices,
+                        graph.num_vertices, solved)

@@ -1,0 +1,34 @@
+"""Coloring validation helpers (used by solvers, examples and tests)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..graphs.graph import Graph
+
+
+def check_proper(graph: Graph, coloring: Dict[int, int]) -> None:
+    """Raise ``ValueError`` unless ``coloring`` properly colors ``graph``."""
+    for v in graph.vertices():
+        if v not in coloring:
+            raise ValueError(f"vertex {v} is uncolored")
+    for u, v in graph.edges():
+        if coloring[u] == coloring[v]:
+            raise ValueError(f"edge ({u}, {v}) is monochromatic (color {coloring[u]})")
+
+
+def is_proper(graph: Graph, coloring: Dict[int, int]) -> bool:
+    """Boolean form of :func:`check_proper`."""
+    try:
+        check_proper(graph, coloring)
+    except ValueError:
+        return False
+    return True
+
+
+def color_class_sizes(coloring: Dict[int, int]) -> Dict[int, int]:
+    """Map each color to the size of its class."""
+    sizes: Dict[int, int] = {}
+    for color in coloring.values():
+        sizes[color] = sizes.get(color, 0) + 1
+    return sizes

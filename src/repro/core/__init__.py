@@ -1,0 +1,70 @@
+"""Formula core: literals, clauses, PB constraints, formulas and I/O."""
+
+from .clause import Clause
+from .cnf_encodings import (
+    build_totalizer,
+    encode_at_least_k_totalizer,
+    encode_at_most_k_sequential,
+    encode_at_most_k_totalizer,
+    encode_at_most_one_pairwise,
+    encode_exactly_one_pairwise,
+    pb_to_cnf,
+)
+from .formula import Formula, FormulaStats
+from .io_opb import (
+    formula_to_string,
+    read_dimacs_cnf,
+    read_opb,
+    write_dimacs_cnf,
+    write_opb,
+)
+from .literals import (
+    check_literal,
+    index_lit,
+    is_positive,
+    lit_index,
+    max_var,
+    neg,
+    var_of,
+)
+from .pbconstraint import (
+    LinearGE,
+    PBConstraint,
+    at_least_k,
+    at_most_k,
+    exactly_one,
+    normalize_terms,
+)
+from .variables import VariablePool
+
+__all__ = [
+    "Clause",
+    "Formula",
+    "FormulaStats",
+    "LinearGE",
+    "PBConstraint",
+    "VariablePool",
+    "at_least_k",
+    "at_most_k",
+    "build_totalizer",
+    "check_literal",
+    "encode_at_least_k_totalizer",
+    "encode_at_most_k_sequential",
+    "encode_at_most_k_totalizer",
+    "encode_at_most_one_pairwise",
+    "encode_exactly_one_pairwise",
+    "pb_to_cnf",
+    "exactly_one",
+    "formula_to_string",
+    "index_lit",
+    "is_positive",
+    "lit_index",
+    "max_var",
+    "neg",
+    "normalize_terms",
+    "read_dimacs_cnf",
+    "read_opb",
+    "var_of",
+    "write_dimacs_cnf",
+    "write_opb",
+]

@@ -1,0 +1,155 @@
+"""Mixed CNF + PB formulas with an optional linear objective.
+
+This is the exchange format of the whole library: the coloring encoder
+produces a :class:`Formula`, SBP constructions append constraints to it,
+the symmetry detector reads it, and every solver consumes it.  The
+container mirrors the input language of the paper's 0-1 ILP solvers
+(PBS/Galena/Pueblo): a conjunction of CNF clauses and PB constraints
+plus a linear objective to minimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from .clause import Clause
+from .literals import var_of
+from .pbconstraint import PBConstraint, at_least_k, at_most_k, exactly_one
+from .variables import VariablePool
+
+
+@dataclass(frozen=True)
+class FormulaStats:
+    """Size statistics as reported in the paper's Table 2."""
+
+    num_vars: int
+    num_clauses: int
+    num_pb: int
+
+    def __add__(self, other: "FormulaStats") -> "FormulaStats":
+        return FormulaStats(
+            self.num_vars + other.num_vars,
+            self.num_clauses + other.num_clauses,
+            self.num_pb + other.num_pb,
+        )
+
+
+class Formula:
+    """A 0-1 ILP instance: CNF clauses + PB constraints + linear objective."""
+
+    def __init__(self, num_vars: int = 0):
+        self.pool = VariablePool(start=num_vars)
+        self.clauses: List[Clause] = []
+        self.pb_constraints: List[PBConstraint] = []
+        self.objective: Optional[Tuple[Tuple[int, int], ...]] = None
+        self.objective_sense: str = "min"
+
+    # ---------------------------------------------------------------- vars
+    @property
+    def num_vars(self) -> int:
+        """Number of variables (ids run 1..num_vars)."""
+        return self.pool.num_vars
+
+    def new_var(self, *key: Hashable) -> int:
+        """Allocate a fresh variable, optionally registered under a name."""
+        if key:
+            return self.pool.new(*key)
+        return self.pool.fresh()
+
+    def ensure_var(self, var: int) -> None:
+        """Grow the variable range so that ``var`` is legal."""
+        while self.pool.num_vars < var:
+            self.pool.fresh()
+
+    # ---------------------------------------------------------- constraints
+    def add_clause(self, literals: Iterable[int]) -> Clause:
+        """Append a CNF clause; returns the canonicalized clause."""
+        clause = literals if isinstance(literals, Clause) else Clause(literals)
+        if clause.is_empty:
+            raise ValueError("refusing to add the empty clause; formula would be trivially UNSAT")
+        self._grow_to(clause.variables())
+        self.clauses.append(clause)
+        return clause
+
+    def add_pb(
+        self, terms: Iterable[Tuple[int, int]], relation: str, bound: int
+    ) -> PBConstraint:
+        """Append a PB constraint ``sum(coef*lit) <relation> bound``."""
+        constraint = PBConstraint(terms, relation, bound)
+        self._grow_to(constraint.variables())
+        self.pb_constraints.append(constraint)
+        return constraint
+
+    def add_exactly_one(self, lits: Sequence[int]) -> PBConstraint:
+        """Append ``sum(lits) = 1`` (one PB constraint, as in the paper)."""
+        constraint = exactly_one(lits)
+        self._grow_to(constraint.variables())
+        self.pb_constraints.append(constraint)
+        return constraint
+
+    def add_at_most(self, lits: Sequence[int], k: int) -> PBConstraint:
+        """Append ``sum(lits) <= k``."""
+        constraint = at_most_k(lits, k)
+        self._grow_to(constraint.variables())
+        self.pb_constraints.append(constraint)
+        return constraint
+
+    def add_at_least(self, lits: Sequence[int], k: int) -> PBConstraint:
+        """Append ``sum(lits) >= k``."""
+        constraint = at_least_k(lits, k)
+        self._grow_to(constraint.variables())
+        self.pb_constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, terms: Iterable[Tuple[int, int]], sense: str = "min") -> None:
+        """Set the linear objective ``sense sum(coef*lit)``."""
+        if sense not in ("min", "max"):
+            raise ValueError("objective sense must be 'min' or 'max'")
+        self.objective = tuple((int(c), int(l)) for c, l in terms)
+        self.objective_sense = sense
+        self._grow_to([var_of(l) for _, l in self.objective])
+
+    def _grow_to(self, variables: Iterable[int]) -> None:
+        top = 0
+        for v in variables:
+            if v > top:
+                top = v
+        if top > self.pool.num_vars:
+            self.ensure_var(top)
+
+    # ------------------------------------------------------------ queries
+    def stats(self) -> FormulaStats:
+        """Size statistics (vars / CNF clauses / PB constraints)."""
+        return FormulaStats(self.num_vars, len(self.clauses), len(self.pb_constraints))
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """True when the total assignment satisfies every constraint."""
+        return all(c.evaluate(assignment) for c in self.clauses) and all(
+            p.evaluate(assignment) for p in self.pb_constraints
+        )
+
+    def objective_value(self, assignment: Dict[int, bool]) -> int:
+        """Objective value under a total assignment (0 if no objective)."""
+        if self.objective is None:
+            return 0
+        total = 0
+        for coef, lit in self.objective:
+            value = assignment[var_of(lit)]
+            if (lit > 0) == value:
+                total += coef
+        return total
+
+    def copy(self) -> "Formula":
+        """Deep-enough copy: constraints are immutable, lists are fresh."""
+        dup = Formula(num_vars=self.num_vars)
+        dup.clauses = list(self.clauses)
+        dup.pb_constraints = list(self.pb_constraints)
+        dup.objective = self.objective
+        dup.objective_sense = self.objective_sense
+        return dup
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        obj = "" if self.objective is None else f", objective[{len(self.objective)} terms]"
+        return f"Formula(vars={s.num_vars}, clauses={s.num_clauses}, pb={s.num_pb}{obj})"

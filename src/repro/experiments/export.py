@@ -1,0 +1,51 @@
+"""Benchmark export: materialize the registry as ``.col`` / ``.opb`` files.
+
+Downstream users (or external solvers) may want the reproduced DIMACS
+instances and their 0-1 ILP encodings as plain files.  ``export_instances``
+writes every registry instance as DIMACS ``.col``; ``export_encodings``
+additionally encodes each at a given K (with a chosen SBP construction)
+in OPB format — the input format of pseudo-Boolean solver competitions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional
+
+from ..coloring.encoding import encode_coloring
+from ..core.io_opb import write_opb
+from ..graphs.dimacs import write_dimacs_graph
+from ..sbp.instance_independent import apply_sbp
+from .instances import Instance, all_instances
+
+
+def export_instances(
+    directory: str,
+    instances: Optional[Iterable[Instance]] = None,
+) -> List[str]:
+    """Write instances as DIMACS ``.col``; returns the file paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for instance in instances if instances is not None else all_instances():
+        path = os.path.join(directory, f"{instance.name}.col")
+        write_dimacs_graph(instance.graph(), path)
+        paths.append(path)
+    return paths
+
+
+def export_encodings(
+    directory: str,
+    k: int,
+    sbp_kind: str = "none",
+    instances: Optional[Iterable[Instance]] = None,
+) -> List[str]:
+    """Write K-coloring 0-1 ILP encodings as ``.opb``; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for instance in instances if instances is not None else all_instances():
+        encoding = apply_sbp(encode_coloring(instance.graph(), k), sbp_kind)
+        suffix = f".k{k}" + (f".{sbp_kind}" if sbp_kind != "none" else "")
+        path = os.path.join(directory, f"{instance.name}{suffix}.opb")
+        write_opb(encoding.formula, path)
+        paths.append(path)
+    return paths

@@ -1,0 +1,31 @@
+"""Benchmark graph generators for the DIMACS coloring families."""
+
+from .books import book_graph
+from .games import games_graph
+from .geometric import geometric_graph
+from .mycielski import mycielski_graph, mycielski_step
+from .queens import queens_graph
+from .random_graphs import gnm_graph, gnp_graph
+from .register import interference_graph
+from .structured import (
+    complete_multipartite,
+    crown_graph,
+    kneser_graph,
+    wheel_graph,
+)
+
+__all__ = [
+    "book_graph",
+    "complete_multipartite",
+    "crown_graph",
+    "kneser_graph",
+    "wheel_graph",
+    "games_graph",
+    "geometric_graph",
+    "gnm_graph",
+    "gnp_graph",
+    "interference_graph",
+    "mycielski_graph",
+    "mycielski_step",
+    "queens_graph",
+]

@@ -1,0 +1,43 @@
+"""Schedule graphs — stand-in for the ``games120`` instance.
+
+``games120`` connects college football teams that played each other in
+a season: a near-regular "schedule" structure (every team plays a
+similar number of games).  We reproduce that by overlaying random
+perfect matchings (each matching is one "round" in which every team
+plays once), topping up with random edges to hit the exact edge count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..graph import Graph
+
+
+def games_graph(
+    num_teams: int,
+    num_edges: int,
+    seed: Optional[int] = None,
+    name: str = "",
+) -> Graph:
+    """Near-regular schedule graph with exactly ``num_edges`` edges."""
+    if num_teams % 2:
+        raise ValueError("schedule generator needs an even number of teams")
+    max_edges = num_teams * (num_teams - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError("edge target exceeds complete graph")
+    rng = random.Random(seed)
+    graph = Graph(num_teams, name=name)
+    teams = list(range(num_teams))
+    guard = 0
+    while graph.num_edges < num_edges:
+        guard += 1
+        if guard > 100 * num_edges + 1000:
+            raise RuntimeError("games generator failed to reach edge target")
+        rng.shuffle(teams)
+        for i in range(0, num_teams, 2):
+            graph.add_edge(teams[i], teams[i + 1])
+            if graph.num_edges == num_edges:
+                return graph
+    return graph

@@ -1,0 +1,44 @@
+"""Random geometric graphs — stand-in for the ``miles`` family.
+
+The DIMACS mileage graphs connect US cities whose road distance falls
+below a threshold (miles250 uses 250 miles).  The faithful synthetic
+analog is a random geometric graph: points in the unit square, edges
+between pairs closer than a radius.  We pick the radius as the k-th
+smallest pairwise distance so the edge count matches the published
+instance exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from ..graph import Graph
+
+
+def geometric_graph(
+    num_points: int,
+    num_edges: int,
+    seed: Optional[int] = None,
+    name: str = "",
+) -> Graph:
+    """Unit-square geometric graph with exactly ``num_edges`` edges."""
+    max_edges = num_points * (num_points - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError("edge target exceeds complete graph")
+    rng = random.Random(seed)
+    points: List[Tuple[float, float]] = [
+        (rng.random(), rng.random()) for _ in range(num_points)
+    ]
+    pairs = []
+    for u in range(num_points):
+        xu, yu = points[u]
+        for v in range(u + 1, num_points):
+            xv, yv = points[v]
+            pairs.append((math.hypot(xu - xv, yu - yv), u, v))
+    pairs.sort()
+    graph = Graph(num_points, name=name)
+    for _, u, v in pairs[:num_edges]:
+        graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,46 @@
+"""Mycielski graphs.
+
+The Mycielski transformation (Mycielski 1955) produces, from a
+triangle-free graph with chromatic number k, a larger triangle-free
+graph with chromatic number k+1.  Starting from K2 and iterating yields
+exactly the DIMACS ``mycielN`` instances: ``myciel3`` = (11 vertices,
+20 edges, chi = 4), ``myciel4`` = (23, 71, 5), ``myciel5`` = (47, 236, 6).
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph
+
+
+def mycielski_step(graph: Graph) -> Graph:
+    """One Mycielski transformation: G(n, m) -> G'(2n+1, 3m+n).
+
+    Vertices 0..n-1 are the originals, n..2n-1 their shadow copies, and
+    2n the apex connected to every shadow.
+    """
+    n = graph.num_vertices
+    out = Graph(2 * n + 1)
+    apex = 2 * n
+    for u, v in graph.edges():
+        out.add_edge(u, v)
+        out.add_edge(u, n + v)
+        out.add_edge(v, n + u)
+    for i in range(n):
+        out.add_edge(n + i, apex)
+    return out
+
+
+def mycielski_graph(k: int) -> Graph:
+    """The DIMACS ``myciel{k}`` instance.
+
+    ``k - 1`` transformations applied to K2: ``myciel2`` is the 5-cycle,
+    ``myciel3`` the Grötzsch-family (11, 20) instance, and in general
+    the chromatic number of ``mycielski_graph(k)`` is exactly ``k + 1``.
+    """
+    if k < 1:
+        raise ValueError("mycielski index starts at 1 (= K2)")
+    graph = Graph.from_edges(2, [(0, 1)])
+    for _ in range(k - 1):
+        graph = mycielski_step(graph)
+    graph.name = f"myciel{k}"
+    return graph

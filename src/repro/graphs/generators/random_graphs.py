@@ -1,0 +1,56 @@
+"""Erdos-Renyi random graphs — the DSJC family stand-in.
+
+The DIMACS ``DSJC*`` benchmarks (Johnson et al.) are uniform random
+graphs G(n, p).  We provide both the G(n, p) model and the exact-size
+G(n, m) model; the benchmark registry uses G(n, m) with fixed seeds so
+the reproduced instances match the published vertex/edge counts exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..graph import Graph
+
+
+def gnp_graph(n: int, p: float, seed: Optional[int] = None, name: str = "") -> Graph:
+    """G(n, p): each of the C(n, 2) edges present independently with prob p."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("edge probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(n, name=name or f"gnp_{n}_{p}")
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def gnm_graph(n: int, m: int, seed: Optional[int] = None, name: str = "") -> Graph:
+    """G(n, m): exactly m edges sampled uniformly without replacement."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"{m} edges requested but K_{n} has only {max_edges}")
+    rng = random.Random(seed)
+    graph = Graph(n, name=name or f"gnm_{n}_{m}")
+    if m > max_edges // 2:
+        # Dense: sample the complement instead, then invert.
+        forbidden = set()
+        while len(forbidden) < max_edges - m:
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            if u != v:
+                forbidden.add((min(u, v), max(u, v)))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if (u, v) not in forbidden:
+                    graph.add_edge(u, v)
+        return graph
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and graph.add_edge(u, v):
+            added += 1
+    return graph

@@ -1,0 +1,107 @@
+"""Register-interference graphs — stand-ins for ``mulsol`` / ``zeroin``.
+
+The DIMACS register-allocation instances are interference graphs of
+real programs (two variables conflict when simultaneously live).  We
+model a program as live intervals on a linear timeline: a core of
+long-lived variables (globals and loop-carried values) that overlap in
+a deep "hot region", plus many short-lived temporaries.  Interval
+overlap gives an interval graph, whose chromatic number equals its
+maximum overlap depth — exactly the structural property that makes the
+real ``*.i.*`` instances have chromatic number equal to their clique
+number (and > 20, so they are K=20-infeasible, as in the paper).
+
+The temporary-interval length is calibrated by bisection so the edge
+count matches the published instance, then random edges are trimmed or
+topped up for an exact match (real interference graphs also deviate
+slightly from pure interval structure because of control flow).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..graph import Graph
+
+
+def _interval_edges(intervals: List[Tuple[float, float]]) -> List[Tuple[int, int]]:
+    """Overlap pairs of half-open intervals, by sweep."""
+    order = sorted(range(len(intervals)), key=lambda i: intervals[i][0])
+    active: List[int] = []
+    edges: List[Tuple[int, int]] = []
+    for i in order:
+        start, _ = intervals[i]
+        active = [j for j in active if intervals[j][1] > start]
+        for j in active:
+            edges.append((min(i, j), max(i, j)))
+        active.append(i)
+    return edges
+
+
+def interference_graph(
+    num_variables: int,
+    num_edges: int,
+    depth: int,
+    seed: Optional[int] = None,
+    name: str = "",
+) -> Graph:
+    """Live-interval interference graph.
+
+    ``depth`` long-lived variables overlap in a hot region (forcing the
+    clique/chromatic number to at least ``depth``); the rest are
+    temporaries whose length is calibrated to reach ``num_edges``.
+    """
+    max_edges = num_variables * (num_variables - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError("edge target exceeds complete graph")
+    if depth > num_variables:
+        raise ValueError("depth cannot exceed the variable count")
+    rng = random.Random(seed)
+    num_temporaries = num_variables - depth
+    # Long-lived core: staggered long intervals all covering [0.45, 0.55].
+    core = []
+    for i in range(depth):
+        start = rng.uniform(0.0, 0.45)
+        end = rng.uniform(0.55, 1.0)
+        core.append((start, end))
+    starts = [rng.random() * 0.98 for _ in range(num_temporaries)]
+
+    def build(length: float) -> List[Tuple[float, float]]:
+        return core + [(s, s + length) for s in starts]
+
+    lo, hi = 0.0, 1.0
+    for _ in range(40):
+        mid = (lo + hi) / 2
+        if len(_interval_edges(build(mid))) < num_edges:
+            lo = mid
+        else:
+            hi = mid
+    edges = _interval_edges(build(hi))
+    graph = Graph(num_variables, name=name)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    # Exact-count correction: drop surplus edges touching a temporary
+    # (the core-core clique is preserved so the chromatic number stays
+    # >= depth) or top up with random ones (control-flow noise).
+    if graph.num_edges > num_edges:
+        removable = [
+            (u, v) for u, v in graph.edges() if u >= depth or v >= depth
+        ]
+        rng.shuffle(removable)
+        surplus = graph.num_edges - num_edges
+        rebuilt = Graph(num_variables, name=name)
+        dropped = set(removable[:surplus])
+        for u, v in graph.edges():
+            if (u, v) not in dropped:
+                rebuilt.add_edge(u, v)
+        graph = rebuilt
+    guard = 0
+    while graph.num_edges < num_edges:
+        guard += 1
+        if guard > 100 * num_edges + 1000:
+            raise RuntimeError("interference generator failed to reach edge target")
+        u = rng.randrange(num_variables)
+        v = rng.randrange(num_variables)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,87 @@
+"""Structured graph families with known chromatic numbers.
+
+These are validation families rather than paper benchmarks: each has a
+closed-form chromatic number, so they pin down the exact solvers in
+tests far more strongly than random graphs can.
+
+* wheels        — chi(W_n) = 4 for odd cycles, 3 for even;
+* crowns        — K_{n,n} minus a perfect matching: chi = 2, but greedy
+  in the natural order uses n colors (a classic greedy worst case);
+* Kneser graphs — K(n, k): chi = n - 2k + 2 (Lovász 1978);
+* complete multipartite — chi = number of parts.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from ..graph import Graph
+
+
+def wheel_graph(spokes: int) -> Graph:
+    """W_n: a cycle of ``spokes`` vertices plus a hub joined to all.
+
+    chi = 4 when ``spokes`` is odd, 3 when even (spokes >= 3).
+    """
+    if spokes < 3:
+        raise ValueError("a wheel needs at least 3 spokes")
+    graph = Graph(spokes + 1, name=f"wheel{spokes}")
+    hub = spokes
+    for i in range(spokes):
+        graph.add_edge(i, (i + 1) % spokes)
+        graph.add_edge(i, hub)
+    return graph
+
+
+def crown_graph(n: int) -> Graph:
+    """The crown S_n^0: K_{n,n} minus a perfect matching (chi = 2).
+
+    Greedy coloring in the interleaved natural order needs n colors —
+    the textbook example of heuristic/optimal gaps the paper's Coudert
+    discussion alludes to.
+    """
+    if n < 2:
+        raise ValueError("crown graphs need n >= 2")
+    graph = Graph(2 * n, name=f"crown{n}")
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                graph.add_edge(i, n + j)
+    return graph
+
+
+def kneser_graph(n: int, k: int) -> Graph:
+    """K(n, k): vertices are k-subsets of [n], edges join disjoint sets.
+
+    chi = n - 2k + 2 for n >= 2k (Lovász); K(5, 2) is the Petersen graph.
+    """
+    if k < 1 or n < 2 * k:
+        raise ValueError("Kneser graphs need n >= 2k >= 2")
+    subsets = [frozenset(c) for c in combinations(range(n), k)]
+    graph = Graph(len(subsets), name=f"kneser{n}_{k}")
+    for i, a in enumerate(subsets):
+        for j in range(i + 1, len(subsets)):
+            if not a & subsets[j]:
+                graph.add_edge(i, j)
+    return graph
+
+
+def complete_multipartite(part_sizes: Sequence[int]) -> Graph:
+    """Complete multipartite graph; chi = number of (non-empty) parts."""
+    sizes = [s for s in part_sizes]
+    if any(s <= 0 for s in sizes):
+        raise ValueError("part sizes must be positive")
+    total = sum(sizes)
+    graph = Graph(total, name="multipartite" + "_".join(map(str, sizes)))
+    starts = []
+    offset = 0
+    for s in sizes:
+        starts.append(offset)
+        offset += s
+    for p in range(len(sizes)):
+        for q in range(p + 1, len(sizes)):
+            for u in range(starts[p], starts[p] + sizes[p]):
+                for v in range(starts[q], starts[q] + sizes[q]):
+                    graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,168 @@
+"""0-1 ILP optimization on top of the PB decision engine.
+
+The paper's solvers minimize a linear objective subject to CNF + PB
+constraints.  Two search strategies are provided, matching the paper's
+Section 4.1 discussion of how chromatic-number bounds are tightened:
+
+* **linear** — solve, add ``objective <= value - 1``, repeat until UNSAT
+  (the strategy of PBS/Galena: each improving solution permanently
+  tightens the bound in one incremental solver).
+* **binary** — bisect on the objective value, one fresh solver per
+  probe (the "repeated SAT calls" strategy; upper-half refutations
+  cannot be retracted from an incremental solver, hence fresh solvers).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.formula import Formula
+from ..core.literals import var_of
+from ..sat.result import OPTIMAL, OptimizeResult, SAT, UNKNOWN, UNSAT, SolverStats
+from .engine import PBSolver
+
+SolverFactory = Callable[[], PBSolver]
+
+
+def _objective_value(formula: Formula, model: Dict[int, bool]) -> int:
+    total = 0
+    for coef, lit in formula.objective or ():
+        if (lit > 0) == model[var_of(lit)]:
+            total += coef
+    return total
+
+
+def _load(solver: PBSolver, formula: Formula) -> bool:
+    return solver.add_formula(formula)
+
+
+def _bound_terms(formula: Formula, bound: int):
+    """Terms and degree of ``objective <= bound`` in >= normal form."""
+    flipped = [(-c, l) for c, l in formula.objective or ()]
+    return flipped, -bound
+
+
+def minimize_linear(
+    formula: Formula,
+    solver_factory: Optional[SolverFactory] = None,
+    time_limit: Optional[float] = None,
+    conflict_limit: Optional[int] = None,
+    upper_bound_hint: Optional[int] = None,
+    lower_bound: int = 0,
+) -> OptimizeResult:
+    """Minimize the objective by descending linear search.
+
+    ``upper_bound_hint`` (e.g. from a DSATUR coloring) seeds the bound
+    constraint before the first solve; ``lower_bound`` (e.g. a clique
+    bound) lets the search stop without a final UNSAT probe.
+    """
+    if formula.objective is None:
+        raise ValueError("formula has no objective")
+    start = time.monotonic()
+    stats = SolverStats()
+    solver = (solver_factory or PBSolver)()
+    if not _load(solver, formula):
+        return OptimizeResult(UNSAT, stats=stats)
+    if upper_bound_hint is not None:
+        terms, degree = _bound_terms(formula, upper_bound_hint)
+        if not solver.add_linear_ge(terms, degree):
+            return OptimizeResult(UNSAT, stats=stats)
+    best_value: Optional[int] = None
+    best_model: Optional[Dict[int, bool]] = None
+    while True:
+        remaining = None
+        if time_limit is not None:
+            remaining = time_limit - (time.monotonic() - start)
+            if remaining <= 0:
+                status = SAT if best_value is not None else UNKNOWN
+                return OptimizeResult(status, best_value, best_model, stats)
+        result = solver.solve(time_limit=remaining, conflict_limit=conflict_limit)
+        stats.merge(result.stats)
+        if result.is_unsat:
+            if best_value is None:
+                return OptimizeResult(UNSAT, stats=stats)
+            return OptimizeResult(OPTIMAL, best_value, best_model, stats)
+        if result.is_unknown:
+            status = SAT if best_value is not None else UNKNOWN
+            return OptimizeResult(status, best_value, best_model, stats)
+        value = _objective_value(formula, result.model)
+        if best_value is None or value < best_value:
+            best_value, best_model = value, result.model
+        if best_value <= lower_bound:
+            return OptimizeResult(OPTIMAL, best_value, best_model, stats)
+        terms, degree = _bound_terms(formula, best_value - 1)
+        if not solver.add_linear_ge(terms, degree):
+            return OptimizeResult(OPTIMAL, best_value, best_model, stats)
+
+
+def minimize_binary(
+    formula: Formula,
+    solver_factory: Optional[SolverFactory] = None,
+    time_limit: Optional[float] = None,
+    conflict_limit: Optional[int] = None,
+    upper_bound_hint: Optional[int] = None,
+    lower_bound: int = 0,
+) -> OptimizeResult:
+    """Minimize the objective by bisection, one fresh solver per probe."""
+    if formula.objective is None:
+        raise ValueError("formula has no objective")
+    start = time.monotonic()
+    stats = SolverStats()
+    factory = solver_factory or PBSolver
+
+    def probe(bound: Optional[int]) -> Tuple[str, Optional[Dict[int, bool]]]:
+        solver = factory()
+        if not _load(solver, formula):
+            return UNSAT, None
+        if bound is not None:
+            terms, degree = _bound_terms(formula, bound)
+            if not solver.add_linear_ge(terms, degree):
+                return UNSAT, None
+        remaining = None
+        if time_limit is not None:
+            remaining = time_limit - (time.monotonic() - start)
+            if remaining <= 0:
+                return UNKNOWN, None
+        result = solver.solve(time_limit=remaining, conflict_limit=conflict_limit)
+        stats.merge(result.stats)
+        return result.status, result.model
+
+    # Establish feasibility (and a first incumbent).
+    status, model = probe(upper_bound_hint)
+    if status == UNSAT and upper_bound_hint is not None:
+        # The hint may simply be too tight; retry unconstrained.
+        status, model = probe(None)
+    if status == UNSAT:
+        return OptimizeResult(UNSAT, stats=stats)
+    if status == UNKNOWN:
+        return OptimizeResult(UNKNOWN, stats=stats)
+    best_value = _objective_value(formula, model)
+    best_model = model
+    lo, hi = lower_bound, best_value
+    while lo < hi:
+        mid = (lo + hi) // 2
+        status, model = probe(mid)
+        if status == UNKNOWN:
+            return OptimizeResult(SAT, best_value, best_model, stats)
+        if status == UNSAT:
+            lo = mid + 1
+        else:
+            value = _objective_value(formula, model)
+            if value < best_value:
+                best_value, best_model = value, model
+            hi = min(best_value, mid)
+    return OptimizeResult(OPTIMAL, best_value, best_model, stats)
+
+
+def minimize(
+    formula: Formula,
+    strategy: str = "linear",
+    **kwargs,
+) -> OptimizeResult:
+    """Minimize ``formula.objective``; strategy is ``"linear"`` or ``"binary"``."""
+    if strategy == "linear":
+        return minimize_linear(formula, **kwargs)
+    if strategy == "binary":
+        return minimize_binary(formula, **kwargs)
+    raise ValueError(f"unknown optimization strategy {strategy!r}")

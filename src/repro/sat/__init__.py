@@ -1,0 +1,37 @@
+"""CDCL SAT solving: the engine underneath every solver in the library."""
+
+from .brute import brute_force_count, brute_force_optimize, brute_force_solve
+from .cdcl import CDCLSolver, WClause, solve_formula
+from .luby import luby, luby_sequence
+from .preprocessing import PreprocessResult, preprocess
+from .result import (
+    OPTIMAL,
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    OptimizeResult,
+    SolveResult,
+    SolverStats,
+)
+from .vsids import VSIDS
+
+__all__ = [
+    "CDCLSolver",
+    "OPTIMAL",
+    "OptimizeResult",
+    "PreprocessResult",
+    "SAT",
+    "SolveResult",
+    "SolverStats",
+    "UNKNOWN",
+    "UNSAT",
+    "VSIDS",
+    "WClause",
+    "brute_force_count",
+    "brute_force_optimize",
+    "brute_force_solve",
+    "luby",
+    "luby_sequence",
+    "preprocess",
+    "solve_formula",
+]

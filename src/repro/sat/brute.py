@@ -1,0 +1,55 @@
+"""Brute-force reference solvers.
+
+Exhaustive enumeration over all 2^n assignments.  Only usable for tiny
+formulas, but trivially correct — the property-based tests use these as
+the oracle against which the CDCL and PB engines are checked.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.formula import Formula
+from .result import OPTIMAL, OptimizeResult, SolveResult, SAT, UNSAT
+
+MAX_BRUTE_VARS = 22
+
+
+def _assignments(num_vars: int) -> Iterator[Dict[int, bool]]:
+    for bits in product((False, True), repeat=num_vars):
+        yield {v: bits[v - 1] for v in range(1, num_vars + 1)}
+
+
+def brute_force_solve(formula: Formula) -> SolveResult:
+    """Decide satisfiability by exhaustive enumeration."""
+    if formula.num_vars > MAX_BRUTE_VARS:
+        raise ValueError(f"too many variables for brute force: {formula.num_vars}")
+    for assignment in _assignments(formula.num_vars):
+        if formula.evaluate(assignment):
+            return SolveResult(SAT, model=assignment)
+    return SolveResult(UNSAT)
+
+
+def brute_force_count(formula: Formula) -> int:
+    """Count satisfying assignments (used to measure symmetry breaking)."""
+    if formula.num_vars > MAX_BRUTE_VARS:
+        raise ValueError(f"too many variables for brute force: {formula.num_vars}")
+    return sum(1 for a in _assignments(formula.num_vars) if formula.evaluate(a))
+
+
+def brute_force_optimize(formula: Formula) -> OptimizeResult:
+    """Minimize/maximize the objective by exhaustive enumeration."""
+    if formula.num_vars > MAX_BRUTE_VARS:
+        raise ValueError(f"too many variables for brute force: {formula.num_vars}")
+    sign = 1 if formula.objective_sense == "min" else -1
+    best: Optional[Tuple[int, Dict[int, bool]]] = None
+    for assignment in _assignments(formula.num_vars):
+        if not formula.evaluate(assignment):
+            continue
+        value = formula.objective_value(assignment)
+        if best is None or sign * value < sign * best[0]:
+            best = (value, assignment)
+    if best is None:
+        return OptimizeResult(UNSAT)
+    return OptimizeResult(OPTIMAL, best_value=best[0], best_model=best[1])

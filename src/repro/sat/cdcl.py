@@ -1,0 +1,474 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+This is the library's stand-in for the Chaff/zChaff lineage the paper's
+solvers descend from: two-watched-literal propagation, first-UIP
+conflict analysis with clause minimization, VSIDS decisions, phase
+saving, Luby restarts and activity/LBD-guided learned-clause deletion.
+The PB engine in :mod:`repro.pb.engine` extends the same search loop
+with pseudo-Boolean propagation.
+
+The implementation favours clarity over micro-optimization but is
+careful in the hot paths (watched-literal loop, conflict analysis), so
+instances with tens of thousands of variables/clauses are practical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.formula import Formula
+from .luby import luby_sequence
+from .result import SAT, UNKNOWN, UNSAT, SolveResult, SolverStats
+from .vsids import VSIDS
+
+
+class WClause(list):
+    """A solver-internal clause: a literal list plus learning metadata.
+
+    Subclassing ``list`` keeps the watched-literal loop on plain indexed
+    access while allowing the clause-deletion policy to tag clauses with
+    their LBD (literal block distance) and learnt status.
+    """
+
+    __slots__ = ("learnt", "lbd")
+
+    def __init__(self, lits: Iterable[int], learnt: bool = False, lbd: int = 0):
+        super().__init__(lits)
+        self.learnt = learnt
+        self.lbd = lbd
+
+
+class CDCLSolver:
+    """Incremental CDCL solver over CNF clauses.
+
+    Typical use::
+
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        result = solver.solve()
+        assert result.is_sat and result.model[2] is True
+    """
+
+    def __init__(
+        self,
+        num_vars: int = 0,
+        decay: float = 0.95,
+        restart_base: int = 100,
+        phase_default: bool = False,
+        max_learned_start: int = 4000,
+        max_learned_growth: float = 1.1,
+    ):
+        self.num_vars = 0
+        self.values: List[int] = [0]  # 1 true, -1 false, 0 unassigned; index = var
+        self.level: List[int] = [0]
+        self.trail_pos: List[int] = [0]
+        self.reason: List[Optional[WClause]] = [None]
+        self.saved_phase: List[bool] = [phase_default]
+        self._phase_default = phase_default
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.watches: Dict[int, List[WClause]] = {}
+        self.clauses: List[WClause] = []
+        self.learned: List[WClause] = []
+        self.vsids = VSIDS(0, decay=decay)
+        self.restart_base = restart_base
+        self.max_learned = max_learned_start
+        self.max_learned_growth = max_learned_growth
+        self.stats = SolverStats()
+        self._unsat = False  # formula proved UNSAT at level 0
+        self._ensure_var(num_vars)
+
+    # ------------------------------------------------------------ plumbing
+    def _ensure_var(self, var: int) -> None:
+        while self.num_vars < var:
+            self.num_vars += 1
+            self.values.append(0)
+            self.level.append(0)
+            self.trail_pos.append(0)
+            self.reason.append(None)
+            self.saved_phase.append(self._phase_default)
+            self.watches[self.num_vars] = []
+            self.watches[-self.num_vars] = []
+        self.vsids.grow(self.num_vars)
+
+    def value_of(self, lit: int):
+        """Current value of a literal: True / False / None."""
+        v = self.values[lit] if lit > 0 else -self.values[-lit]
+        if v == 0:
+            return None
+        return v > 0
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # ------------------------------------------------------------- loading
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if it makes the formula UNSAT at level 0.
+
+        Must be called at decision level 0 (fresh solver or between
+        ``solve`` calls, which always return at level 0).
+        """
+        if self.trail_lim:
+            raise RuntimeError("add_clause is only legal at decision level 0")
+        lits: List[int] = []
+        seen = set()
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            self._ensure_var(abs(lit))
+            if -lit in seen:
+                return True  # tautology; vacuously added
+            if lit in seen:
+                continue
+            seen.add(lit)
+            value = self.value_of(lit)
+            if value is True:
+                return True  # already satisfied at level 0
+            if value is False:
+                continue  # falsified at level 0; drop the literal
+            lits.append(lit)
+        if not lits:
+            self._unsat = True
+            return False
+        if len(lits) == 1:
+            self._enqueue(lits[0], None)
+            return self._propagate() is None or self._mark_unsat()
+        clause = WClause(lits)
+        self.clauses.append(clause)
+        self.watches[-clause[0]].append(clause)
+        self.watches[-clause[1]].append(clause)
+        return True
+
+    def _mark_unsat(self) -> bool:
+        self._unsat = True
+        return False
+
+    def add_formula(self, formula: Formula) -> bool:
+        """Load all clauses of a CNF-only formula."""
+        if formula.pb_constraints:
+            raise ValueError("CDCLSolver is CNF-only; use repro.pb.PBSolver")
+        self._ensure_var(formula.num_vars)
+        ok = True
+        for clause in formula.clauses:
+            ok = self.add_clause(clause.literals) and ok
+        return ok
+
+    # --------------------------------------------------------- propagation
+    def _enqueue(self, lit: int, reason) -> None:
+        var = abs(lit)
+        self.values[var] = 1 if lit > 0 else -1
+        self.level[var] = self.decision_level
+        self.trail_pos[var] = len(self.trail)
+        self.reason[var] = reason
+        self.trail.append(lit)
+
+    def _propagate(self):
+        """Propagate to fixpoint; returns a conflicting constraint or None.
+
+        Alternates clause (watched-literal) propagation with the
+        ``_propagate_extra`` hook until neither produces new assignments.
+        """
+        while True:
+            conflict = self._propagate_clauses()
+            if conflict is not None:
+                return conflict
+            conflict = self._propagate_extra()
+            if conflict is not None:
+                self.qhead = len(self.trail)
+                return conflict
+            if self.qhead >= len(self.trail):
+                return None
+
+    def _propagate_clauses(self) -> Optional[WClause]:
+        """Unit propagation over clauses; returns a conflict or None."""
+        values = self.values
+        watches = self.watches
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats.propagations += 1
+            false_lit = -lit
+            # Clauses watching ``false_lit`` live under watches[-false_lit].
+            watchlist = watches[lit]
+            i = j = 0
+            n = len(watchlist)
+            while i < n:
+                clause = watchlist[i]
+                i += 1
+                # Normalize: the false literal sits at position 1.
+                if clause[0] == false_lit:
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
+                first = clause[0]
+                fval = values[first] if first > 0 else -values[-first]
+                if fval > 0:
+                    watchlist[j] = clause
+                    j += 1
+                    continue
+                # Look for a non-false replacement watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    oval = values[other] if other > 0 else -values[-other]
+                    if oval >= 0:
+                        clause[1] = other
+                        clause[k] = false_lit
+                        watches[-other].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                watchlist[j] = clause
+                j += 1
+                if fval < 0:
+                    # Conflict: keep the remaining watchers and report.
+                    while i < n:
+                        watchlist[j] = watchlist[i]
+                        j += 1
+                        i += 1
+                    del watchlist[j:]
+                    self.qhead = len(self.trail)
+                    return clause
+                self._enqueue(first, clause)
+            del watchlist[j:]
+        return None
+
+    def _propagate_extra(self):
+        """Hook for subclasses (PB propagation); None means no conflict."""
+        return None
+
+    # ----------------------------------------------------------- analysis
+    def _analyze(self, conflict) -> (List[int], int, int):
+        """First-UIP conflict analysis.
+
+        Returns ``(learnt_clause, backtrack_level, lbd)`` with the
+        asserting literal first.  ``conflict`` is a clause-like list of
+        literals all currently false.
+        """
+        learnt: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p = 0
+        reason_lits: Sequence[int] = self._reason_literals(conflict, 0)
+        index = len(self.trail) - 1
+        current = self.decision_level
+        while True:
+            for q in reason_lits:
+                if q == p:
+                    continue
+                v = abs(q)
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = True
+                    self.vsids.bump(v)
+                    if self.level[v] >= current:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            p = self.trail[index]
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            seen[abs(p)] = False
+            reason_lits = self._reason_literals(self.reason[abs(p)], p)
+        learnt_head = -p
+        learnt = self._minimize(learnt, seen)
+        # Backtrack level: highest level among the tail literals.
+        bt = 0
+        for q in learnt:
+            lvl = self.level[abs(q)]
+            if lvl > bt:
+                bt = lvl
+        levels = {self.level[abs(q)] for q in learnt}
+        levels.add(current)
+        lbd = len(levels)
+        return [learnt_head] + learnt, bt, lbd
+
+    def _reason_literals(self, reason, lit: int) -> Sequence[int]:
+        """Literals of the reason for ``lit`` (hookable for PB reasons)."""
+        return reason
+
+    def _minimize(self, learnt: List[int], seen: List[bool]) -> List[int]:
+        """Local clause minimization: drop literals implied by the rest."""
+        out = []
+        for q in learnt:
+            reason = self.reason[abs(q)]
+            if reason is None:
+                out.append(q)
+                continue
+            lits = self._reason_literals(reason, -q)
+            redundant = all(
+                r == -q or seen[abs(r)] or self.level[abs(r)] == 0 for r in lits
+            )
+            if not redundant:
+                out.append(q)
+        return out
+
+    def _backtrack(self, target_level: int) -> None:
+        if self.decision_level <= target_level:
+            return
+        bound = self.trail_lim[target_level]
+        popped = self.trail[bound:]
+        for k in range(len(self.trail) - 1, bound - 1, -1):
+            lit = self.trail[k]
+            var = abs(lit)
+            self.saved_phase[var] = lit > 0
+            self.values[var] = 0
+            self.reason[var] = None
+            self.vsids.push(var)
+        del self.trail[bound:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+        self._on_backtrack(bound, popped)
+
+    def _on_backtrack(self, trail_bound: int, popped: List[int]) -> None:
+        """Hook for subclasses to unwind auxiliary state."""
+
+    def _record_learnt(self, lits: List[int], lbd: int) -> Optional[WClause]:
+        """Install a learnt clause and enqueue its asserting literal."""
+        self.stats.learned += 1
+        if len(lits) == 1:
+            self._enqueue(lits[0], None)
+            return None
+        clause = WClause(lits, learnt=True, lbd=lbd)
+        self.learned.append(clause)
+        self.watches[-clause[0]].append(clause)
+        self.watches[-clause[1]].append(clause)
+        self._enqueue(clause[0], clause)
+        return clause
+
+    def _reduce_db(self) -> None:
+        """Throw away the less useful half of the learnt clauses."""
+        locked = set()
+        for var in range(1, self.num_vars + 1):
+            r = self.reason[var]
+            if r is not None and isinstance(r, WClause) and r.learnt:
+                locked.add(id(r))
+        keep: List[WClause] = []
+        candidates: List[WClause] = []
+        for c in self.learned:
+            if id(c) in locked or len(c) <= 2 or c.lbd <= 2:
+                keep.append(c)
+            else:
+                candidates.append(c)
+        candidates.sort(key=lambda c: (c.lbd, len(c)))
+        cut = len(candidates) // 2
+        for c in candidates[cut:]:
+            self._detach(c)
+            self.stats.deleted += 1
+        self.learned = keep + candidates[:cut]
+        self.max_learned = int(self.max_learned * self.max_learned_growth)
+
+    def _detach(self, clause: WClause) -> None:
+        for lit in (clause[0], clause[1]):
+            try:
+                self.watches[-lit].remove(clause)
+            except ValueError:
+                pass
+
+    # --------------------------------------------------------------- solve
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        time_limit: Optional[float] = None,
+        conflict_limit: Optional[int] = None,
+    ) -> SolveResult:
+        """Decide satisfiability under optional assumption literals.
+
+        ``time_limit`` (seconds) and ``conflict_limit`` bound the search;
+        on exhaustion the result status is :data:`UNKNOWN`.
+        """
+        start = time.monotonic()
+        run = SolverStats()
+        if self._unsat:
+            return SolveResult(UNSAT, stats=run)
+        for lit in assumptions:
+            self._ensure_var(abs(lit))
+        restarts = luby_sequence(self.restart_base)
+        budget = next(restarts)
+        conflicts_here = 0
+        base_conflicts = self.stats.conflicts
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                if self.decision_level == 0:
+                    self._unsat = True
+                    return self._finish(UNSAT, start, base_conflicts, run)
+                learnt, bt, lbd = self._analyze(conflict)
+                self._backtrack(bt)
+                self._record_learnt(learnt, lbd)
+                self.vsids.decay()
+                self._on_conflict()
+                if conflict_limit is not None and conflicts_here >= conflict_limit:
+                    return self._finish(UNKNOWN, start, base_conflicts, run)
+                if time_limit is not None and (self.stats.conflicts & 127) == 0:
+                    if time.monotonic() - start > time_limit:
+                        return self._finish(UNKNOWN, start, base_conflicts, run)
+                if conflicts_here >= budget:
+                    budget = conflicts_here + next(restarts)
+                    self.stats.restarts += 1
+                    self._backtrack(0)
+                if len(self.learned) > self.max_learned:
+                    self._reduce_db()
+                continue
+            # No conflict: re-establish assumptions, then decide.
+            if self.decision_level < len(assumptions):
+                lit = assumptions[self.decision_level]
+                value = self.value_of(lit)
+                if value is False:
+                    return self._finish(UNSAT, start, base_conflicts, run)
+                self.trail_lim.append(len(self.trail))
+                if value is None:
+                    self._enqueue(lit, None)
+                continue
+            var = self.vsids.pop_unassigned(lambda v: self.values[v] != 0)
+            if var == 0:
+                model = {v: self.values[v] > 0 for v in range(1, self.num_vars + 1)}
+                result = self._finish(SAT, start, base_conflicts, run)
+                result.model = model
+                return result
+            self.stats.decisions += 1
+            if time_limit is not None and (self.stats.decisions & 1023) == 0:
+                if time.monotonic() - start > time_limit:
+                    return self._finish(UNKNOWN, start, base_conflicts, run)
+            self.trail_lim.append(len(self.trail))
+            lit = var if self.saved_phase[var] else -var
+            self._enqueue(lit, None)
+
+    def _on_conflict(self) -> None:
+        """Hook for subclasses (e.g. extra learning)."""
+
+    def _finish(
+        self, status: str, start: float, base_conflicts: int, run: SolverStats
+    ) -> SolveResult:
+        self._backtrack(0)
+        run.conflicts = self.stats.conflicts - base_conflicts
+        run.decisions = self.stats.decisions
+        run.propagations = self.stats.propagations
+        run.restarts = self.stats.restarts
+        run.learned = self.stats.learned
+        run.time_seconds = time.monotonic() - start
+        return SolveResult(status, stats=run)
+
+
+def solve_formula(
+    formula: Formula,
+    assumptions: Sequence[int] = (),
+    time_limit: Optional[float] = None,
+    conflict_limit: Optional[int] = None,
+) -> SolveResult:
+    """One-shot satisfiability check of a CNF-only formula."""
+    solver = CDCLSolver(num_vars=formula.num_vars)
+    if not solver.add_formula(formula):
+        return SolveResult(UNSAT)
+    return solver.solve(
+        assumptions=assumptions, time_limit=time_limit, conflict_limit=conflict_limit
+    )

@@ -1,0 +1,39 @@
+"""The Luby restart sequence.
+
+Modern CDCL solvers (Chaff descendants, which the paper's PB solvers
+are) restart after a number of conflicts drawn from the Luby sequence
+1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... scaled by a base interval.  The
+sequence is optimal (up to constants) for speeding up Las Vegas
+algorithms with unknown runtime distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def luby(i: int) -> int:
+    """Return the i-th element (1-based) of the Luby sequence."""
+    if i <= 0:
+        raise ValueError("Luby sequence is 1-based")
+    # The sequence is self-similar: block k ends at index 2^k - 1 with
+    # value 2^(k-1); indices inside a block repeat the earlier sequence.
+    k = 1
+    while (1 << k) - 1 < i:
+        k += 1
+    while (1 << k) - 1 != i:
+        i -= (1 << (k - 1)) - 1
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+    return 1 << (k - 1)
+
+
+def luby_sequence(base: int) -> Iterator[int]:
+    """Yield restart budgets ``base * luby(i)`` for i = 1, 2, 3, ..."""
+    if base <= 0:
+        raise ValueError("restart base must be positive")
+    i = 1
+    while True:
+        yield base * luby(i)
+        i += 1

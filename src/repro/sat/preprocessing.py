@@ -1,0 +1,179 @@
+"""CNF preprocessing: the simplifications SAT solvers run before search.
+
+The paper's solvers (Chaff lineage) resolve unit and pure literals
+up-front; SBPs in particular create many unit clauses (the SC
+construction is *only* unit clauses) that preprocessing folds into the
+formula.  Implemented here:
+
+* unit propagation to fixpoint (with the implied assignment returned);
+* pure-literal elimination;
+* clause subsumption (forward, signature-based);
+* self-subsuming resolution (strengthening).
+
+``preprocess`` runs them to a joint fixpoint and reports what it did.
+The result is equisatisfiable — models extend the returned forced
+assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.clause import Clause
+from ..core.formula import Formula
+from ..core.literals import var_of
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of CNF preprocessing."""
+
+    formula: Optional[Formula]  # None when UNSAT was derived
+    forced: Dict[int, bool] = field(default_factory=dict)
+    units_propagated: int = 0
+    pure_eliminated: int = 0
+    subsumed: int = 0
+    strengthened: int = 0
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.formula is None
+
+
+def _propagate_units(
+    clauses: List[Tuple[int, ...]], forced: Dict[int, bool]
+) -> Tuple[Optional[List[Tuple[int, ...]]], int]:
+    """Resolve unit clauses to fixpoint; returns (clauses, #units)."""
+    count = 0
+    while True:
+        units = [c[0] for c in clauses if len(c) == 1]
+        if not units:
+            return clauses, count
+        for lit in units:
+            var = var_of(lit)
+            want = lit > 0
+            if var in forced and forced[var] != want:
+                return None, count
+            if var not in forced:
+                forced[var] = want
+                count += 1
+        next_clauses: List[Tuple[int, ...]] = []
+        for clause in clauses:
+            out: List[int] = []
+            satisfied = False
+            for lit in clause:
+                value = forced.get(var_of(lit))
+                if value is None:
+                    out.append(lit)
+                elif (lit > 0) == value:
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if not out:
+                return None, count
+            next_clauses.append(tuple(out))
+        clauses = next_clauses
+
+
+def _eliminate_pure(
+    clauses: List[Tuple[int, ...]], forced: Dict[int, bool]
+) -> Tuple[List[Tuple[int, ...]], int]:
+    """Fix pure literals (appearing in one phase only) to satisfy them."""
+    polarity: Dict[int, Set[bool]] = {}
+    for clause in clauses:
+        for lit in clause:
+            polarity.setdefault(var_of(lit), set()).add(lit > 0)
+    pure = {
+        var: phases.pop()
+        for var, phases in polarity.items()
+        if len(phases) == 1 and var not in forced
+    }
+    if not pure:
+        return clauses, 0
+    for var, phase in pure.items():
+        forced[var] = phase
+    kept = []
+    for clause in clauses:
+        if any(var_of(l) in pure and (l > 0) == pure[var_of(l)] for l in clause):
+            continue
+        kept.append(clause)
+    return kept, len(pure)
+
+
+def _signature(clause: Tuple[int, ...]) -> int:
+    sig = 0
+    for lit in clause:
+        sig |= 1 << (var_of(lit) & 63)
+    return sig
+
+
+def _subsume(clauses: List[Tuple[int, ...]]) -> Tuple[List[Tuple[int, ...]], int, int]:
+    """Remove subsumed clauses; strengthen via self-subsuming resolution."""
+    ordered = sorted(set(clauses), key=len)
+    sigs = [_signature(c) for c in ordered]
+    sets = [frozenset(c) for c in ordered]
+    removed = [False] * len(ordered)
+    subsumed = 0
+    strengthened = 0
+    for i in range(len(ordered)):
+        if removed[i]:
+            continue
+        for j in range(i + 1, len(ordered)):
+            if removed[j] or len(ordered[j]) < len(ordered[i]):
+                continue
+            if sigs[i] & ~sigs[j]:
+                continue
+            if sets[i] <= sets[j]:
+                removed[j] = True
+                subsumed += 1
+                continue
+            # Self-subsuming resolution: C = A|x, D = B|~x with A <= B
+            # lets D drop ~x.
+            diff = sets[i] - sets[j]
+            if len(diff) == 1:
+                lit = next(iter(diff))
+                if -lit in sets[j] and (sets[i] - {lit}) <= sets[j]:
+                    new_clause = tuple(l for l in ordered[j] if l != -lit)
+                    ordered[j] = new_clause
+                    sets[j] = frozenset(new_clause)
+                    sigs[j] = _signature(new_clause)
+                    strengthened += 1
+    kept = [c for c, gone in zip(ordered, removed) if not gone]
+    return kept, subsumed, strengthened
+
+
+def preprocess(formula: Formula, max_rounds: int = 10) -> PreprocessResult:
+    """Simplify a CNF-only formula; PB constraints are rejected.
+
+    Returns an equisatisfiable formula plus the forced assignment, or
+    ``formula=None`` when the input is UNSAT.
+    """
+    if formula.pb_constraints:
+        raise ValueError("preprocess handles CNF-only formulas")
+    result = PreprocessResult(formula=None)
+    clauses: List[Tuple[int, ...]] = [c.literals for c in formula.clauses]
+    forced: Dict[int, bool] = {}
+    for _ in range(max_rounds):
+        before = (len(clauses), len(forced))
+        clauses_or_none, units = _propagate_units(clauses, forced)
+        result.units_propagated += units
+        if clauses_or_none is None:
+            return result  # UNSAT
+        clauses = clauses_or_none
+        clauses, pure = _eliminate_pure(clauses, forced)
+        result.pure_eliminated += pure
+        clauses, subsumed, strengthened = _subsume(clauses)
+        result.subsumed += subsumed
+        result.strengthened += strengthened
+        if (len(clauses), len(forced)) == before and not (units or pure or subsumed or strengthened):
+            break
+    out = Formula(num_vars=formula.num_vars)
+    for clause in clauses:
+        if not clause:  # strengthening can in principle empty a clause
+            return result
+        out.add_clause(clause)
+    result.formula = out
+    result.forced = forced
+    return result

@@ -1,0 +1,96 @@
+"""Solver result types shared by the SAT, PB and ILP engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"  # resource limit (time / conflicts) reached
+
+
+@dataclass
+class SolverStats:
+    """Search statistics, reported by every solver."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+    deleted: int = 0
+    time_seconds: float = 0.0
+
+    def merge(self, other: "SolverStats") -> None:
+        """Accumulate another run's statistics into this one."""
+        self.decisions += other.decisions
+        self.conflicts += other.conflicts
+        self.propagations += other.propagations
+        self.restarts += other.restarts
+        self.learned += other.learned
+        self.deleted += other.deleted
+        self.time_seconds += other.time_seconds
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a decision query.
+
+    ``status`` is one of :data:`SAT`, :data:`UNSAT`, :data:`UNKNOWN`.
+    ``model`` maps every variable to a bool when status is SAT.
+    """
+
+    status: str
+    model: Optional[Dict[int, bool]] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == UNKNOWN
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of an optimization query (0-1 ILP with objective).
+
+    ``status`` semantics:
+
+    * ``"OPTIMAL"`` — ``best_value``/``best_model`` hold a proved optimum.
+    * :data:`SAT` — feasible solution found but optimality not proved
+      (resource limit hit during tightening).
+    * :data:`UNSAT` — constraints are infeasible.
+    * :data:`UNKNOWN` — limit hit before any feasible solution was found.
+    """
+
+    status: str
+    best_value: Optional[int] = None
+    best_model: Optional[Dict[int, bool]] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "OPTIMAL"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == UNKNOWN
+
+    @property
+    def solved(self) -> bool:
+        """True when the run finished with a definitive answer."""
+        return self.status in ("OPTIMAL", UNSAT)
+
+OPTIMAL = "OPTIMAL"

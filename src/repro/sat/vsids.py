@@ -1,0 +1,78 @@
+"""VSIDS decision heuristic (variable state independent decaying sum).
+
+The heuristic of Chaff (Moskewicz et al. 2001), used by every solver
+compared in the paper: each variable carries an activity score bumped
+when it participates in a conflict; scores decay geometrically; the
+unassigned variable of highest activity is picked at each decision.
+
+Implemented as the usual exponential-bump variant: instead of decaying
+all scores, the bump amount grows by ``1/decay`` each conflict and all
+scores are rescaled when they overflow a threshold.  Selection uses a
+lazy max-heap: stale entries are skipped on pop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+
+class VSIDS:
+    """Activity-ordered variable picker over variables ``1..num_vars``."""
+
+    RESCALE_LIMIT = 1e100
+
+    def __init__(self, num_vars: int, decay: float = 0.95):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.activity: List[float] = [0.0] * (num_vars + 1)
+        self._heap: List = [(-0.0, v) for v in range(1, num_vars + 1)]
+        heapq.heapify(self._heap)
+        self._inc = 1.0
+        self._decay = decay
+
+    def grow(self, num_vars: int) -> None:
+        """Extend to cover variables up to ``num_vars``."""
+        for v in range(len(self.activity), num_vars + 1):
+            self.activity.append(0.0)
+            heapq.heappush(self._heap, (-0.0, v))
+
+    def bump(self, var: int) -> None:
+        """Increase ``var``'s activity and requeue it."""
+        act = self.activity[var] + self._inc
+        if act > self.RESCALE_LIMIT:
+            scale = 1.0 / self.RESCALE_LIMIT
+            self.activity = [a * scale for a in self.activity]
+            self._inc *= scale
+            act = self.activity[var] + self._inc
+        self.activity[var] = act
+        heapq.heappush(self._heap, (-act, var))
+
+    def decay(self) -> None:
+        """Apply one conflict's worth of geometric decay."""
+        self._inc /= self._decay
+
+    def push(self, var: int) -> None:
+        """Requeue a variable that became unassigned on backtrack."""
+        heapq.heappush(self._heap, (-self.activity[var], var))
+
+    def pop_unassigned(self, is_assigned) -> int:
+        """Pop the highest-activity variable for which ``is_assigned(v)`` is False.
+
+        Returns 0 when every variable is assigned.
+        """
+        heap = self._heap
+        while heap:
+            negact, var = heapq.heappop(heap)
+            if is_assigned(var):
+                continue
+            if -negact != self.activity[var]:
+                # Stale entry: the variable was bumped since this entry
+                # was pushed; a fresher entry is elsewhere in the heap.
+                heapq.heappush(heap, (-self.activity[var], var))
+                if heap[0][1] == var:
+                    heapq.heappop(heap)
+                    return var
+                continue
+            return var
+        return 0

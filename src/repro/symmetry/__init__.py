@@ -1,0 +1,45 @@
+"""Symmetry machinery: permutations, groups, refinement, automorphisms,
+formula graphs and the detection pipeline (Saucy + GAP stand-ins)."""
+
+from .automorphism import AutomorphismFinder, AutomorphismResult, find_automorphisms
+from .canonical import (
+    are_isomorphic,
+    canonical_form,
+    canonical_labeling,
+    isomorphism_mapping,
+)
+from .detect import SymmetryReport, detect_symmetries
+from .formula_graph import (
+    FormulaGraph,
+    build_formula_graph,
+    formula_perm_is_consistent,
+    graph_perm_to_formula_perm,
+)
+from .group import PermutationGroup, orbit_of, orbit_partition, orbits
+from .permutation import Permutation
+from .refinement import OrderedPartition, individualize, is_equitable, refine
+
+__all__ = [
+    "AutomorphismFinder",
+    "AutomorphismResult",
+    "FormulaGraph",
+    "OrderedPartition",
+    "Permutation",
+    "PermutationGroup",
+    "SymmetryReport",
+    "are_isomorphic",
+    "build_formula_graph",
+    "canonical_form",
+    "canonical_labeling",
+    "isomorphism_mapping",
+    "detect_symmetries",
+    "find_automorphisms",
+    "formula_perm_is_consistent",
+    "graph_perm_to_formula_perm",
+    "individualize",
+    "is_equitable",
+    "orbit_of",
+    "orbit_partition",
+    "orbits",
+    "refine",
+]

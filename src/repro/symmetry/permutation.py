@@ -1,0 +1,139 @@
+"""Permutations of ``0..n-1``.
+
+The symmetry machinery (automorphism search, Schreier–Sims, SBP
+construction) all speaks in these: a permutation is an immutable
+mapping stored as a tuple ``image[i] = pi(i)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class Permutation:
+    """An immutable permutation of ``0..n-1``."""
+
+    __slots__ = ("image",)
+
+    def __init__(self, image: Sequence[int]):
+        img = tuple(image)
+        if sorted(img) != list(range(len(img))):
+            raise ValueError("not a permutation of 0..n-1")
+        self.image: Tuple[int, ...] = img
+
+    # ------------------------------------------------------------- basics
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        return cls(range(n))
+
+    @classmethod
+    def from_cycles(cls, n: int, cycles: Iterable[Sequence[int]]) -> "Permutation":
+        """Build from disjoint cycles, e.g. ``from_cycles(4, [(0, 1, 2)])``."""
+        image = list(range(n))
+        seen = set()
+        for cycle in cycles:
+            for i, point in enumerate(cycle):
+                if point in seen:
+                    raise ValueError(f"point {point} in two cycles")
+                seen.add(point)
+                image[point] = cycle[(i + 1) % len(cycle)]
+        return cls(image)
+
+    @classmethod
+    def from_mapping(cls, n: int, mapping: Dict[int, int]) -> "Permutation":
+        """Build from a sparse mapping; unmapped points are fixed."""
+        image = list(range(n))
+        for src, dst in mapping.items():
+            image[src] = dst
+        return cls(image)
+
+    @property
+    def degree(self) -> int:
+        return len(self.image)
+
+    def __call__(self, point: int) -> int:
+        return self.image[point]
+
+    def __len__(self) -> int:
+        return len(self.image)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Permutation) and self.image == other.image
+
+    def __hash__(self) -> int:
+        return hash(self.image)
+
+    # ------------------------------------------------------------ algebra
+    def compose(self, other: "Permutation") -> "Permutation":
+        """``(self * other)(x) == self(other(x))`` (right-to-left)."""
+        if self.degree != other.degree:
+            raise ValueError("degree mismatch")
+        other_img = other.image
+        self_img = self.image
+        return Permutation([self_img[other_img[x]] for x in range(len(self_img))])
+
+    def __mul__(self, other: "Permutation") -> "Permutation":
+        return self.compose(other)
+
+    def inverse(self) -> "Permutation":
+        inv = [0] * len(self.image)
+        for i, j in enumerate(self.image):
+            inv[j] = i
+        return Permutation(inv)
+
+    def power(self, k: int) -> "Permutation":
+        """k-th power (negative k uses the inverse)."""
+        if k < 0:
+            return self.inverse().power(-k)
+        result = Permutation.identity(self.degree)
+        base = self
+        while k:
+            if k & 1:
+                result = result * base
+            base = base * base
+            k >>= 1
+        return result
+
+    # ----------------------------------------------------------- structure
+    @property
+    def is_identity(self) -> bool:
+        return all(i == j for i, j in enumerate(self.image))
+
+    def support(self) -> List[int]:
+        """Points moved by the permutation, ascending."""
+        return [i for i, j in enumerate(self.image) if i != j]
+
+    def cycles(self, include_fixed: bool = False) -> List[Tuple[int, ...]]:
+        """Disjoint cycle decomposition (nontrivial cycles by default)."""
+        seen = [False] * len(self.image)
+        out: List[Tuple[int, ...]] = []
+        for start in range(len(self.image)):
+            if seen[start]:
+                continue
+            cycle = [start]
+            seen[start] = True
+            point = self.image[start]
+            while point != start:
+                seen[point] = True
+                cycle.append(point)
+                point = self.image[point]
+            if len(cycle) > 1 or include_fixed:
+                out.append(tuple(cycle))
+        return out
+
+    def order(self) -> int:
+        """Multiplicative order (lcm of cycle lengths)."""
+        from math import gcd
+
+        result = 1
+        for cycle in self.cycles():
+            length = len(cycle)
+            result = result * length // gcd(result, length)
+        return result
+
+    def __repr__(self) -> str:
+        cycles = self.cycles()
+        if not cycles:
+            return f"Permutation(identity, n={self.degree})"
+        text = "".join("(" + " ".join(map(str, c)) + ")" for c in cycles)
+        return f"Permutation({text}, n={self.degree})"

@@ -1,0 +1,41 @@
+"""Ablation driver tests (fast parameters)."""
+
+from repro.experiments.ablations import (
+    ablate_formula_growth,
+    ablate_strategy,
+    ablate_support_cap,
+)
+from repro.experiments.instances import ScalePreset
+
+FAST = ScalePreset(
+    name="test", instance_names=("myciel3",),
+    k_primary=4, k_secondary=5, time_limit=10.0,
+    detection_node_limit=20000, solvers=("pbs2",),
+)
+
+
+def test_support_cap_monotone_size():
+    rows = ablate_support_cap(
+        instance_name="myciel3", k=4, caps=(2, 16, None), time_limit=20.0
+    )
+    assert [r.cap for r in rows] == [2, 16, None]
+    assert rows[0].clauses_added <= rows[1].clauses_added <= rows[2].clauses_added
+    assert all(r.status == "OPTIMAL" for r in rows)
+
+
+def test_strategy_agreement():
+    rows = ablate_strategy(instance_name="myciel3", k=5, time_limit=20.0)
+    assert {r.strategy for r in rows} == {"linear", "binary"}
+    values = {r.value for r in rows if r.status == "OPTIMAL"}
+    assert values == {4}
+
+
+def test_formula_growth_ordering():
+    rows = ablate_formula_growth(FAST)
+    by_kind = {r.sbp_kind: r for r in rows}
+    assert by_kind["none"].growth_vs_none == 1.0
+    assert by_kind["li"].growth_vs_none > by_kind["nu"].growth_vs_none
+    assert by_kind["nu"].num_clauses == by_kind["none"].num_clauses + FAST.k_primary - 1
+    # CA adds PB constraints, not clauses.
+    assert by_kind["ca"].num_clauses == by_kind["none"].num_clauses
+    assert by_kind["ca"].num_pb == by_kind["none"].num_pb + FAST.k_primary - 1

@@ -1,0 +1,109 @@
+"""Canonical labeling and isomorphism tests."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import mycielski_graph, queens_graph
+from repro.graphs.graph import Graph
+from repro.symmetry.canonical import (
+    are_isomorphic,
+    canonical_form,
+    canonical_labeling,
+    isomorphism_mapping,
+)
+
+
+def _random_graph(n, seed):
+    rng = random.Random(seed)
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.5:
+                g.add_edge(u, v)
+    return g
+
+
+def _shuffled(graph, seed):
+    rng = random.Random(seed)
+    perm = list(range(graph.num_vertices))
+    rng.shuffle(perm)
+    return graph.relabel(perm)
+
+
+def test_canonical_form_invariant_under_relabeling():
+    for seed in range(10):
+        g = _random_graph(7, seed)
+        h = _shuffled(g, seed + 100)
+        assert canonical_form(g) == canonical_form(h), seed
+
+
+def test_non_isomorphic_distinguished():
+    path = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    star = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+    assert canonical_form(path) != canonical_form(star)
+    assert not are_isomorphic(path, star)
+
+
+def test_are_isomorphic_positive():
+    g = queens_graph(3, 4)
+    h = _shuffled(g, 42)
+    assert are_isomorphic(g, h)
+    assert are_isomorphic(mycielski_graph(3), _shuffled(mycielski_graph(3), 7))
+
+
+def test_size_mismatch_fast_path():
+    assert not are_isomorphic(Graph(3), Graph(4))
+    a = Graph.from_edges(3, [(0, 1)])
+    b = Graph.from_edges(3, [(0, 1), (1, 2)])
+    assert not are_isomorphic(a, b)
+
+
+def test_colored_isomorphism():
+    # Same graph, incompatible color multisets -> not isomorphic.
+    g = Graph.from_edges(2, [(0, 1)])
+    assert are_isomorphic(g, g, colors_a=[0, 1], colors_b=[1, 0])
+    assert not are_isomorphic(g, g, colors_a=[0, 0], colors_b=[0, 1])
+
+
+def test_colors_distinguish_orientation():
+    # Path a-b-c colored (red, blue, blue) vs (blue, blue, red) are
+    # isomorphic; vs (blue, red, blue) are not.
+    path = Graph.from_edges(3, [(0, 1), (1, 2)])
+    assert are_isomorphic(path, path, colors_a=[0, 1, 1], colors_b=[1, 1, 0])
+    assert not are_isomorphic(path, path, colors_a=[0, 1, 1], colors_b=[1, 0, 1])
+
+
+def test_isomorphism_mapping_explicit():
+    g = _random_graph(6, 5)
+    h = _shuffled(g, 99)
+    mapping = isomorphism_mapping(g, h)
+    assert mapping is not None
+    for u, v in g.edges():
+        assert h.has_edge(mapping(u), mapping(v))
+
+
+def test_isomorphism_mapping_none_for_different_graphs():
+    path = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    cycle = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    assert isomorphism_mapping(path, cycle) is None
+
+
+def test_empty_graph():
+    assert canonical_labeling(Graph(0)) == []
+    assert are_isomorphic(Graph(0), Graph(0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.data())
+def test_canonical_invariance_property(n, data):
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if data.draw(st.booleans()):
+                g.add_edge(u, v)
+    perm = data.draw(st.permutations(range(n)))
+    h = g.relabel(list(perm))
+    assert canonical_form(g) == canonical_form(h)
+    assert are_isomorphic(g, h)

@@ -1,0 +1,85 @@
+"""CLI tests (python -m repro and python -m repro.experiments)."""
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+from repro.graphs.dimacs import write_dimacs_graph
+from repro.graphs.generators import mycielski_graph
+
+
+@pytest.fixture()
+def col_file(tmp_path):
+    path = str(tmp_path / "myciel3.col")
+    write_dimacs_graph(mycielski_graph(3), path)
+    return path
+
+
+def test_stats_command(capsys, col_file):
+    assert repro_main(["stats", col_file]) == 0
+    out = capsys.readouterr().out
+    assert "vertices:    11" in out
+    assert "edges:       20" in out
+
+
+def test_color_command(capsys, col_file):
+    code = repro_main(["color", col_file, "--sbp", "nu+sc", "--time-limit", "60"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OPTIMAL" in out
+    assert "colors used:      4" in out
+
+
+def test_color_with_instance_dependent(capsys, col_file):
+    code = repro_main([
+        "color", col_file, "--instance-dependent", "--k", "5",
+        "--time-limit", "60", "--show-coloring",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "symmetry gens:" in out
+    assert "vertex 1:" in out
+
+
+def test_color_unsat_budget(capsys, col_file):
+    code = repro_main(["color", col_file, "--k", "3", "--time-limit", "60"])
+    out = capsys.readouterr().out
+    assert code == 0  # UNSAT is a definitive (solved) outcome
+    assert "UNSAT" in out
+
+
+def test_detect_command(capsys, col_file):
+    assert repro_main(["detect", col_file, "--k", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "#S =" in out
+    assert "generators:" in out
+
+
+def test_detect_with_sbp(capsys, col_file):
+    assert repro_main(["detect", col_file, "--k", "4", "--sbp", "li"]) == 0
+    out = capsys.readouterr().out
+    assert "#S = 1" in out  # LI kills every symmetry
+
+
+def test_experiments_figure1(capsys):
+    assert experiments_main(["figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "48" in out and "12" in out
+
+
+def test_experiments_unknown_scale():
+    with pytest.raises(KeyError):
+        experiments_main(["table1", "--scale", "galactic"])
+
+
+def test_module_entrypoint_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert result.returncode == 0
+    assert "color" in result.stdout

@@ -1,0 +1,72 @@
+"""Clique computation tests."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.cliques import clique_lower_bound, greedy_clique, is_clique, max_clique
+from repro.graphs.generators import queens_graph
+from repro.graphs.graph import Graph
+
+
+def _brute_max_clique(graph):
+    best = 0
+    for size in range(graph.num_vertices, 0, -1):
+        for subset in itertools.combinations(range(graph.num_vertices), size):
+            if is_clique(graph, subset):
+                return size
+    return best
+
+
+def test_greedy_clique_is_clique():
+    g = queens_graph(4, 4)
+    clique = greedy_clique(g)
+    assert is_clique(g, clique)
+    assert len(clique) >= 4  # each row is a 4-clique
+
+
+def test_greedy_clique_empty_graph():
+    assert greedy_clique(Graph(0)) == []
+    assert clique_lower_bound(Graph(0)) == 0
+
+
+def test_max_clique_known_values():
+    triangle = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    assert len(max_clique(triangle)) == 3
+    path = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    assert len(max_clique(path)) == 2
+    empty = Graph(4)
+    assert len(max_clique(empty)) == 1
+
+
+def test_max_clique_queens():
+    g = queens_graph(5, 5)
+    assert len(max_clique(g)) == 5
+
+
+def test_node_limit_returns_incumbent():
+    g = queens_graph(5, 5)
+    clique = max_clique(g, node_limit=1)
+    assert is_clique(g, clique)
+
+
+def test_is_clique():
+    g = Graph.from_edges(3, [(0, 1), (1, 2)])
+    assert is_clique(g, [0, 1])
+    assert not is_clique(g, [0, 1, 2])
+    assert is_clique(g, [])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=7), st.data())
+def test_max_clique_matches_brute_force(n, data):
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if data.draw(st.booleans()):
+                g.add_edge(u, v)
+    exact = len(max_clique(g))
+    assert exact == _brute_max_clique(g)
+    assert clique_lower_bound(g) <= exact
+    assert is_clique(g, max_clique(g))

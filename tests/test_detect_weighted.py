@@ -1,0 +1,83 @@
+"""Symmetry detection on weighted PB formulas and objectives.
+
+The coefficient-node construction must keep differently-weighted
+literals apart while allowing equal-weight ones to swap.
+"""
+
+from repro.core.formula import Formula
+from repro.core.literals import index_lit, lit_index
+from repro.symmetry.detect import detect_symmetries
+
+
+def _permuted_ok(formula, gen):
+    """Check a generator maps some model to a model (sanity)."""
+    from repro.sat.brute import brute_force_solve
+
+    base = brute_force_solve(formula)
+    if not base.is_sat:
+        return True
+    image = {}
+    for v in range(1, formula.num_vars + 1):
+        lit = v if base.model[v] else -v
+        img = index_lit(gen(lit_index(lit)))
+        image[abs(img)] = img > 0
+    return formula.evaluate(image)
+
+
+def test_equal_weights_swap():
+    f = Formula(num_vars=2)
+    f.add_pb([(2, 1), (2, 2)], ">=", 2)
+    report = detect_symmetries(f)
+    assert report.order == 2  # x1 <-> x2
+
+
+def test_unequal_weights_do_not_swap():
+    f = Formula(num_vars=2)
+    f.add_pb([(3, 1), (2, 2)], ">=", 2)
+    report = detect_symmetries(f)
+    assert report.order == 1
+
+
+def test_mixed_weight_groups():
+    # 2x1 + 2x2 + 5x3 + 5x4 >= 7: {1,2} and {3,4} swap internally.
+    f = Formula(num_vars=4)
+    f.add_pb([(2, 1), (2, 2), (5, 3), (5, 4)], ">=", 7)
+    report = detect_symmetries(f)
+    assert report.order == 4
+    for gen in report.generators:
+        assert _permuted_ok(f, gen)
+
+
+def test_different_bounds_not_confused():
+    f = Formula(num_vars=4)
+    f.add_pb([(1, 1), (1, 2)], ">=", 1)
+    f.add_pb([(1, 3), (1, 4)], ">=", 2)
+    report = detect_symmetries(f)
+    # {1,2} swap; {3,4} swap (within their own constraints); but the two
+    # constraints must not map onto each other (different bounds).
+    assert report.order == 4
+    for gen in report.generators:
+        assert _permuted_ok(f, gen)
+
+
+def test_objective_blocks_swap():
+    # Without the objective x1,x2 are symmetric; weighting one more in
+    # the objective breaks the symmetry.
+    f = Formula(num_vars=2)
+    f.add_clause([1, 2])
+    f.set_objective([(1, 1), (2, 2)])
+    report = detect_symmetries(f)
+    assert report.order == 1
+    g = Formula(num_vars=2)
+    g.add_clause([1, 2])
+    g.set_objective([(1, 1), (1, 2)])
+    assert detect_symmetries(g).order == 2
+
+
+def test_equality_relation_in_signature():
+    f = Formula(num_vars=4)
+    f.add_pb([(1, 1), (1, 2)], "=", 1)
+    f.add_pb([(1, 3), (1, 4)], ">=", 1)
+    report = detect_symmetries(f)
+    # Swaps inside each pair, no cross-constraint mapping.
+    assert report.order == 4

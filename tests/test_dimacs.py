@@ -1,0 +1,49 @@
+"""DIMACS .col format tests."""
+
+import io
+
+import pytest
+
+from repro.graphs.dimacs import read_dimacs_graph, write_dimacs_graph
+from repro.graphs.generators import queens_graph
+from repro.graphs.graph import Graph
+
+
+def test_roundtrip():
+    g = queens_graph(4, 4)
+    buffer = io.StringIO()
+    write_dimacs_graph(g, buffer)
+    buffer.seek(0)
+    h = read_dimacs_graph(buffer, name="queen4_4")
+    assert h.num_vertices == g.num_vertices
+    assert sorted(h.edges()) == sorted(g.edges())
+
+
+def test_reader_tolerates_duplicates_and_comments():
+    text = "c a comment\np edge 3 4\ne 1 2\ne 2 1\ne 2 3\ne 2 2\n"
+    g = read_dimacs_graph(io.StringIO(text))
+    assert g.num_vertices == 3
+    assert g.num_edges == 2  # duplicate and loop dropped
+
+
+def test_reader_requires_problem_line():
+    with pytest.raises(ValueError):
+        read_dimacs_graph(io.StringIO("e 1 2\n"))
+    with pytest.raises(ValueError):
+        read_dimacs_graph(io.StringIO("c only comments\n"))
+
+
+def test_reader_rejects_bad_problem_line():
+    with pytest.raises(ValueError):
+        read_dimacs_graph(io.StringIO("p graph\n"))
+
+
+def test_writer_emits_header_and_name(tmp_path):
+    g = Graph.from_edges(2, [(0, 1)], name="tiny")
+    path = str(tmp_path / "tiny.col")
+    write_dimacs_graph(g, path)
+    text = open(path).read()
+    assert "c tiny" in text
+    assert "p edge 2 1" in text
+    assert "e 1 2" in text
+    assert read_dimacs_graph(path).num_edges == 1

@@ -1,0 +1,69 @@
+"""Solution enumeration tests — mechanical Figure-1-style counting."""
+
+import pytest
+
+from repro.coloring.encoding import encode_coloring
+from repro.coloring.enumerate import (
+    count_colorings,
+    distinct_colorings,
+    enumerate_models,
+)
+from repro.core.formula import Formula
+from repro.experiments.figure1 import figure1_graph
+from repro.graphs.graph import Graph
+from repro.sbp.instance_independent import apply_sbp
+
+
+def test_enumerate_models_simple():
+    f = Formula(num_vars=2)
+    f.add_clause([1, 2])
+    models = list(enumerate_models(f, [1, 2]))
+    assert len(models) == 3
+    assert all(m[1] or m[2] for m in models)
+
+
+def test_enumerate_models_projection():
+    # Auxiliary variable 3 is free; projection onto {1,2} dedups it.
+    f = Formula(num_vars=3)
+    f.add_clause([1, 2])
+    models = list(enumerate_models(f, [1, 2]))
+    assert len(models) == 3
+
+
+def test_enumerate_models_limit():
+    f = Formula(num_vars=3)
+    f.add_clause([1, 2, 3])
+    assert len(list(enumerate_models(f, [1, 2, 3], limit=2))) == 2
+
+
+def test_enumerate_empty_projection_rejected():
+    f = Formula(num_vars=1)
+    f.add_clause([1])
+    with pytest.raises(ValueError):
+        list(enumerate_models(f, []))
+
+
+def test_count_matches_figure1():
+    """Mechanical reproduction of Figure 1's 48 -> 12 -> 4 -> 2 chain."""
+    graph = figure1_graph()
+    base = encode_coloring(graph, 4)
+    counts = {}
+    for kind in ("none", "nu", "ca", "li"):
+        counts[kind] = count_colorings(apply_sbp(base, kind), optimal_only=True)
+    assert counts == {"none": 48, "nu": 12, "ca": 4, "li": 2}
+
+
+def test_count_all_vs_optimal():
+    graph = Graph.from_edges(2, [(0, 1)])
+    enc = encode_coloring(graph, 2)
+    assert count_colorings(enc) == 2  # (1,2) and (2,1)
+    assert count_colorings(enc, optimal_only=True) == 2  # chi = 2 anyway
+
+
+def test_distinct_colorings_are_proper():
+    graph = figure1_graph()
+    enc = apply_sbp(encode_coloring(graph, 4), "li")
+    colorings = distinct_colorings(enc, limit=10)
+    assert colorings
+    for coloring in colorings:
+        assert graph.is_proper_coloring(coloring)

@@ -1,0 +1,61 @@
+"""Exact DSATUR branch-and-bound tests."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.exact_dsatur import exact_chromatic_number
+from repro.graphs.generators import mycielski_graph, queens_graph
+from repro.graphs.graph import Graph
+
+
+def brute_chromatic(graph, limit=6):
+    for k in range(1, limit + 1):
+        for a in itertools.product(range(k), repeat=graph.num_vertices):
+            if all(a[u] != a[v] for u, v in graph.edges()):
+                return k
+    return limit + 1
+
+
+def test_known_instances():
+    assert exact_chromatic_number(mycielski_graph(3)).chromatic_number == 4
+    assert exact_chromatic_number(mycielski_graph(4)).chromatic_number == 5
+    assert exact_chromatic_number(queens_graph(5, 5)).chromatic_number == 5
+    assert exact_chromatic_number(queens_graph(6, 6)).chromatic_number == 7
+
+
+def test_trivial_graphs():
+    assert exact_chromatic_number(Graph(0)).chromatic_number == 0
+    assert exact_chromatic_number(Graph(3)).chromatic_number == 1
+    k3 = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    assert exact_chromatic_number(k3).chromatic_number == 3
+
+
+def test_result_coloring_is_proper():
+    g = queens_graph(5, 5)
+    result = exact_chromatic_number(g)
+    assert result.optimal
+    assert g.is_proper_coloring(result.coloring)
+    assert len(set(result.coloring.values())) == result.chromatic_number
+
+
+def test_node_limit_gives_incumbent():
+    g = queens_graph(6, 6)
+    result = exact_chromatic_number(g, node_limit=1)
+    assert result.chromatic_number >= 7  # DSATUR incumbent
+    assert g.is_proper_coloring(result.coloring)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=7), st.data())
+def test_matches_brute_force(n, data):
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if data.draw(st.booleans()):
+                g.add_edge(u, v)
+    result = exact_chromatic_number(g)
+    assert result.optimal
+    assert result.chromatic_number == brute_chromatic(g, limit=n)
+    assert g.is_proper_coloring(result.coloring)

@@ -1,0 +1,45 @@
+"""The example scripts must run cleanly (they are user-facing docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "register_allocation.py",
+        "exam_timetabling.py",
+        "frequency_assignment.py",
+        "pcb_testing.py",
+    ],
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_reports_chromatic_number():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert "chromatic number = 5" in result.stdout
+
+
+def test_register_allocation_budget_check():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "register_allocation.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert "does NOT fit" in result.stdout
+    assert "fits" in result.stdout

@@ -1,0 +1,36 @@
+"""Instance/encoding export tests."""
+
+import os
+
+from repro.core.io_opb import read_opb
+from repro.experiments.export import export_encodings, export_instances
+from repro.experiments.instances import get_instance
+from repro.graphs.dimacs import read_dimacs_graph
+
+
+def test_export_instances_roundtrip(tmp_path):
+    instances = [get_instance("myciel3"), get_instance("queen5_5")]
+    paths = export_instances(str(tmp_path), instances)
+    assert len(paths) == 2
+    for path, instance in zip(paths, instances):
+        assert os.path.exists(path)
+        graph = read_dimacs_graph(path)
+        assert graph.num_vertices == instance.num_vertices
+        assert graph.num_edges == instance.num_edges
+
+
+def test_export_encodings_roundtrip(tmp_path):
+    instance = get_instance("myciel3")
+    paths = export_encodings(str(tmp_path), k=4, sbp_kind="nu", instances=[instance])
+    assert len(paths) == 1
+    assert paths[0].endswith("myciel3.k4.nu.opb")
+    formula = read_opb(paths[0])
+    # n*K + K variables; NU adds K-1 clauses; n PB constraints survive.
+    assert formula.num_vars == 11 * 4 + 4
+    assert len(formula.pb_constraints) == 11
+
+
+def test_export_plain_encoding_name(tmp_path):
+    instance = get_instance("myciel3")
+    paths = export_encodings(str(tmp_path), k=4, instances=[instance])
+    assert paths[0].endswith("myciel3.k4.opb")

@@ -1,0 +1,52 @@
+"""Figure 1 reproduction tests: the exact counts from the paper's example."""
+
+from repro.experiments.figure1 import (
+    figure1_counts,
+    figure1_graph,
+    render_figure1,
+)
+
+
+def test_figure1_graph_shape():
+    g = figure1_graph()
+    assert g.num_vertices == 4
+    assert g.num_edges == 4
+    # V1 V2 V3 form a clique, V4 hangs off V3.
+    assert g.has_edge(0, 1) and g.has_edge(0, 2) and g.has_edge(1, 2)
+    assert g.has_edge(2, 3)
+    assert not g.has_edge(0, 3) and not g.has_edge(1, 3)
+
+
+def test_counts_match_paper_narrative():
+    rows = {r.sbp_kind: r for r in figure1_counts()}
+    # Free color permutation: 2 partitions x P(4,3) ordered color choices.
+    assert rows["none"].optimal_allowed == 48
+    # NU: used colors form a prefix -> 3! orderings per partition.
+    assert rows["nu"].optimal_allowed == 12
+    # CA: the size-2 class takes color 1; singletons split 2 ways.
+    assert rows["ca"].optimal_allowed == 4
+    # LI: unique assignment per partition.
+    assert rows["li"].optimal_allowed == 2
+    # Monotone strength hierarchy.
+    assert (
+        rows["none"].optimal_allowed
+        > rows["nu"].optimal_allowed
+        > rows["ca"].optimal_allowed
+        > rows["li"].optimal_allowed
+    )
+    # SC prunes but is instance-lucky rather than complete.
+    assert rows["sc"].optimal_allowed < rows["none"].optimal_allowed
+    # Combinations never admit more than their parts.
+    assert rows["nu+sc"].optimal_allowed <= min(
+        rows["nu"].optimal_allowed, rows["sc"].optimal_allowed
+    )
+
+
+def test_every_construction_keeps_an_optimum():
+    for row in figure1_counts():
+        assert row.optimal_allowed >= 1, row.sbp_kind
+
+
+def test_render():
+    text = render_figure1(figure1_counts())
+    assert "none" in text and "li" in text

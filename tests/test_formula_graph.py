@@ -1,0 +1,121 @@
+"""Formula -> colored graph construction tests."""
+
+from repro.core.formula import Formula
+from repro.core.literals import lit_index
+from repro.symmetry.detect import detect_symmetries
+from repro.symmetry.formula_graph import (
+    build_formula_graph,
+    formula_perm_is_consistent,
+)
+from repro.symmetry.permutation import Permutation
+
+
+def test_vertex_layout():
+    f = Formula(num_vars=2)
+    f.add_clause([1, 2])
+    fg = build_formula_graph(f)
+    # 4 literal vertices + 2 variable vertices, binary clause = direct edge.
+    assert fg.num_literal_vertices == 4
+    assert fg.graph.num_vertices == 6
+    assert fg.graph.has_edge(lit_index(1), lit_index(2))
+
+
+def test_long_clause_gets_vertex():
+    f = Formula(num_vars=3)
+    f.add_clause([1, 2, 3])
+    fg = build_formula_graph(f)
+    assert fg.graph.num_vertices == 6 + 3 + 1  # literals + vars + clause node
+
+
+def test_unit_clause_marker():
+    f = Formula(num_vars=1)
+    f.add_clause([1])
+    fg = build_formula_graph(f)
+    assert fg.graph.num_vertices == 2 + 1 + 1
+
+
+def test_pb_constraints_get_signature_colors():
+    f = Formula(num_vars=4)
+    f.add_exactly_one([1, 2])
+    f.add_exactly_one([3, 4])
+    f.add_at_most([1, 3], 1)
+    fg = build_formula_graph(f)
+    colors = fg.colors
+    pb_nodes = [v for v in range(fg.num_literal_vertices + 4, fg.graph.num_vertices)]
+    pb_colors = [colors[v] for v in pb_nodes]
+    # The two exactly-one constraints share a color; the at-most differs.
+    assert len(set(pb_colors)) == 2
+
+
+def test_weighted_pb_creates_weight_nodes():
+    f = Formula(num_vars=2)
+    f.add_pb([(2, 1), (1, 2)], ">=", 2)
+    fg = build_formula_graph(f)
+    # literals(4) + vars(2) + constraint(1) + two weight nodes(2)
+    assert fg.graph.num_vertices == 9
+
+
+def test_objective_represented():
+    f = Formula(num_vars=2)
+    f.add_clause([1, 2])
+    g_no_obj = build_formula_graph(f).graph.num_vertices
+    f.set_objective([(1, 1), (1, 2)])
+    g_obj = build_formula_graph(f).graph.num_vertices
+    assert g_obj == g_no_obj + 1
+
+
+def test_consistency_check():
+    ok = Permutation([2, 3, 0, 1])  # swaps var1 and var2 with phases aligned
+    assert formula_perm_is_consistent(ok)
+    bad = Permutation([3, 2, 0, 1])  # maps pos1->neg2 but neg1->pos2 swapped wrong
+    assert formula_perm_is_consistent(bad)  # phase-shift swap is consistent
+    broken = Permutation([2, 1, 0, 3])  # pos1->pos2 but neg1 stays: inconsistent
+    assert not formula_perm_is_consistent(broken)
+
+
+def test_detect_finds_variable_swap():
+    # x1 and x2 are interchangeable in (x1 | x2).
+    f = Formula(num_vars=2)
+    f.add_clause([1, 2])
+    report = detect_symmetries(f)
+    assert report.order == 2
+    swap = Permutation([2, 3, 0, 1])
+    assert any(g == swap for g in report.generators)
+
+
+def test_detect_phase_shift():
+    # x <-> ~x symmetry of the formula (x | y)(~x | y).
+    f = Formula(num_vars=2)
+    f.add_clause([1, 2])
+    f.add_clause([-1, 2])
+    report = detect_symmetries(f)
+    assert report.order == 2  # flip x1's phase
+    flip = Permutation([1, 0, 2, 3])
+    assert any(g == flip for g in report.generators)
+
+
+def test_detect_no_symmetries():
+    f = Formula(num_vars=2)
+    f.add_clause([1])
+    f.add_clause([1, 2])
+    report = detect_symmetries(f)
+    assert report.order == 1
+    assert report.num_generators == 0
+
+
+def test_detected_symmetries_preserve_models():
+    # Every detected generator must map models to models.
+    f = Formula(num_vars=4)
+    f.add_exactly_one([1, 2, 3, 4])
+    report = detect_symmetries(f)
+    assert report.order == 24  # all four variables interchangeable
+    from repro.core.literals import index_lit
+
+    model = {1: True, 2: False, 3: False, 4: False}
+    for gen in report.generators:
+        image = {}
+        for v in range(1, 5):
+            lit = v if model[v] else -v
+            img = index_lit(gen(lit_index(lit)))
+            image[abs(img)] = img > 0
+        assert f.evaluate(image)

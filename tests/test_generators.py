@@ -1,0 +1,154 @@
+"""Benchmark generator tests: exact families exactly, synthetic by contract."""
+
+import pytest
+
+from repro.graphs.cliques import clique_lower_bound
+from repro.graphs.coloring_heuristics import dsatur
+from repro.graphs.generators import (
+    book_graph,
+    games_graph,
+    geometric_graph,
+    gnm_graph,
+    gnp_graph,
+    interference_graph,
+    mycielski_graph,
+    mycielski_step,
+    queens_graph,
+)
+from repro.graphs.graph import Graph
+
+
+# ------------------------------------------------------------------ queens
+@pytest.mark.parametrize(
+    "rows,cols,vertices,edges",
+    [(5, 5, 25, 160), (6, 6, 36, 290), (7, 7, 49, 476), (8, 12, 96, 1368)],
+)
+def test_queens_sizes_match_dimacs(rows, cols, vertices, edges):
+    g = queens_graph(rows, cols)
+    assert g.num_vertices == vertices
+    assert g.num_edges == edges
+
+
+def test_queens_rows_are_cliques():
+    g = queens_graph(4, 4)
+    for r in range(4):
+        row = [r * 4 + c for c in range(4)]
+        for i, u in enumerate(row):
+            for v in row[i + 1 :]:
+                assert g.has_edge(u, v)
+
+
+def test_queens_rejects_bad_board():
+    with pytest.raises(ValueError):
+        queens_graph(0, 3)
+
+
+# --------------------------------------------------------------- mycielski
+@pytest.mark.parametrize("k,vertices,edges", [(2, 5, 5), (3, 11, 20), (4, 23, 71), (5, 47, 236)])
+def test_mycielski_sizes(k, vertices, edges):
+    g = mycielski_graph(k)
+    assert (g.num_vertices, g.num_edges) == (vertices, edges)
+
+
+def test_mycielski_triangle_free():
+    g = mycielski_graph(4)
+    for u, v in g.edges():
+        assert not (g.neighbors(u) & g.neighbors(v)), "triangle found"
+
+
+def test_mycielski_step_formula():
+    g = Graph.from_edges(3, [(0, 1), (1, 2)])
+    h = mycielski_step(g)
+    assert h.num_vertices == 2 * 3 + 1
+    assert h.num_edges == 3 * 2 + 3
+
+
+def test_mycielski_chromatic_number_grows():
+    # chi(myciel k) = k + 1; DSATUR is exact on these small instances.
+    for k in (2, 3, 4):
+        _, colors = dsatur(mycielski_graph(k))
+        assert colors == k + 1
+
+
+def test_mycielski_rejects_zero():
+    with pytest.raises(ValueError):
+        mycielski_graph(0)
+
+
+# ------------------------------------------------------------------ random
+def test_gnm_exact_edges_and_determinism():
+    g1 = gnm_graph(30, 100, seed=5)
+    g2 = gnm_graph(30, 100, seed=5)
+    assert g1.num_edges == 100
+    assert g1 == g2
+    assert gnm_graph(30, 100, seed=6) != g1
+
+
+def test_gnm_dense_path():
+    g = gnm_graph(10, 40, seed=1)  # > half of C(10,2)=45
+    assert g.num_edges == 40
+
+
+def test_gnm_rejects_too_many():
+    with pytest.raises(ValueError):
+        gnm_graph(4, 7)
+
+
+def test_gnp_bounds():
+    g = gnp_graph(20, 0.5, seed=2)
+    assert 0 < g.num_edges < 190
+    with pytest.raises(ValueError):
+        gnp_graph(5, 1.5)
+
+
+# -------------------------------------------------------------- synthetics
+def test_book_graph_contract():
+    g = book_graph(74, 301, seed=1, name="huck")
+    assert (g.num_vertices, g.num_edges) == (74, 301)
+    # Protagonists (low indices) should be hubs.
+    assert g.degree(0) > g.degree(60)
+
+
+def test_book_graph_deterministic():
+    assert book_graph(50, 120, seed=9) == book_graph(50, 120, seed=9)
+
+
+def test_geometric_graph_contract():
+    g = geometric_graph(60, 150, seed=3)
+    assert (g.num_vertices, g.num_edges) == (60, 150)
+
+
+def test_games_graph_near_regular():
+    g = games_graph(40, 200, seed=4)
+    assert (g.num_vertices, g.num_edges) == (40, 200)
+    degrees = [g.degree(v) for v in g.vertices()]
+    # Matching overlays keep the schedule near-regular (duplicate-edge
+    # collisions introduce a small spread around 2m/n = 10).
+    assert max(degrees) - min(degrees) <= 6
+
+
+def test_games_graph_requires_even_teams():
+    with pytest.raises(ValueError):
+        games_graph(5, 4)
+
+
+def test_interference_graph_contract():
+    g = interference_graph(80, 600, depth=12, seed=5)
+    assert (g.num_vertices, g.num_edges) == (80, 600)
+    # The long-lived core forms a clique: chromatic number >= depth.
+    assert clique_lower_bound(g) >= 12
+
+
+def test_interference_depth_bounds_chromatic():
+    g = interference_graph(60, 400, depth=15, seed=6)
+    _, ub = dsatur(g)
+    assert ub >= 15
+
+
+def test_edge_targets_validated():
+    with pytest.raises(ValueError):
+        book_graph(4, 10)
+    with pytest.raises(ValueError):
+        geometric_graph(4, 10)
+    with pytest.raises(ValueError):
+        interference_graph(4, 10, depth=2)

@@ -1,0 +1,115 @@
+"""Generic ILP branch-and-bound tests (the CPLEX-profile solver)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formula import Formula
+from repro.ilp.branch_and_bound import BranchAndBoundSolver, solve_ilp
+from repro.ilp.model import formula_to_ilp
+from repro.sat.brute import brute_force_optimize, brute_force_solve
+
+
+def test_model_shapes():
+    f = Formula(num_vars=3)
+    f.add_clause([1, -2])
+    f.add_pb([(2, 1), (1, 3)], "=", 2)
+    f.set_objective([(1, 1), (1, -3)])
+    model = formula_to_ilp(f)
+    assert model.num_vars == 3
+    assert model.row_count() == 3  # clause + two rows for the equality
+    assert model.objective_offset == 1  # from the negative literal
+
+
+def test_simple_optimum():
+    f = Formula(num_vars=4)
+    f.add_clause([1, 2])
+    f.add_clause([3, 4])
+    f.set_objective([(1, v) for v in range(1, 5)])
+    result = solve_ilp(f)
+    assert result.is_optimal and result.best_value == 2
+
+
+def test_infeasible():
+    f = Formula(num_vars=1)
+    f.add_clause([1])
+    f.add_clause([-1])
+    f.set_objective([(1, 1)])
+    assert solve_ilp(f).is_unsat
+
+
+def test_decide():
+    f = Formula(num_vars=2)
+    f.add_exactly_one([1, 2])
+    result = BranchAndBoundSolver().decide(f)
+    assert result.is_sat
+    assert f.evaluate(result.model)
+
+
+def test_node_limit_unknown():
+    # A formula that needs branching, squeezed to zero nodes.
+    f = Formula(num_vars=6)
+    for i in range(1, 6):
+        f.add_exactly_one([i, i + 1])
+    f.set_objective([(1, v) for v in range(1, 7)])
+    result = BranchAndBoundSolver(node_limit=0).optimize(f)
+    assert result.is_unknown
+
+
+def test_invalid_branch_rule():
+    with pytest.raises(ValueError):
+        BranchAndBoundSolver(branch_rule="spam")
+
+
+def test_objective_required_for_optimize():
+    f = Formula(num_vars=1)
+    f.add_clause([1])
+    with pytest.raises(ValueError):
+        BranchAndBoundSolver().optimize(f)
+
+
+@st.composite
+def ilp_problem(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    f = Formula(num_vars=n)
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        width = draw(st.integers(min_value=1, max_value=n))
+        vs = draw(st.lists(st.integers(min_value=1, max_value=n),
+                           min_size=width, max_size=width, unique=True))
+        terms = [
+            (draw(st.integers(min_value=-3, max_value=3)),
+             v * draw(st.sampled_from([1, -1])))
+            for v in vs
+        ]
+        f.add_pb(terms, draw(st.sampled_from([">=", "<=", "="])),
+                 draw(st.integers(min_value=-2, max_value=4)))
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        f.add_clause([
+            draw(st.integers(min_value=1, max_value=n)) * draw(st.sampled_from([1, -1]))
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        ])
+    f.set_objective(
+        [(draw(st.integers(min_value=1, max_value=3)),
+          v * draw(st.sampled_from([1, -1])))
+         for v in range(1, n + 1)]
+    )
+    return f
+
+
+@settings(max_examples=40, deadline=None)
+@given(ilp_problem())
+def test_bb_matches_brute_force(formula):
+    expected = brute_force_optimize(formula)
+    actual = solve_ilp(formula)
+    assert actual.status == expected.status
+    if actual.is_optimal:
+        assert actual.best_value == expected.best_value
+        assert formula.evaluate(actual.best_model)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ilp_problem())
+def test_bb_decide_matches_brute_force(formula):
+    expected = brute_force_solve(formula)
+    actual = BranchAndBoundSolver().decide(formula)
+    assert actual.status == expected.status

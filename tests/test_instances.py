@@ -1,0 +1,72 @@
+"""Benchmark registry tests."""
+
+import pytest
+
+from repro.experiments.instances import (
+    QUEENS_NAMES,
+    REGISTRY,
+    SCALES,
+    all_instances,
+    get_instance,
+    get_scale,
+)
+
+
+def test_twenty_instances():
+    assert len(REGISTRY) == 20
+    assert len(all_instances()) == 20
+
+
+def test_paper_table1_names_present():
+    expected = {
+        "anna", "david", "DSJC125.1", "DSJC125.9", "games120", "huck",
+        "jean", "miles250", "mulsol.i.2", "mulsol.i.4", "myciel3",
+        "myciel4", "myciel5", "queen5_5", "queen6_6", "queen7_7",
+        "queen8_12", "zeroin.i.1", "zeroin.i.2", "zeroin.i.3",
+    }
+    assert set(REGISTRY) == expected
+
+
+@pytest.mark.parametrize("name", ["myciel3", "myciel4", "queen5_5", "huck", "jean"])
+def test_generators_match_registry_sizes(name):
+    instance = get_instance(name)
+    graph = instance.graph()  # asserts sizes internally
+    assert graph.num_vertices == instance.num_vertices
+    assert graph.num_edges == instance.num_edges
+    assert graph.name == name
+
+
+def test_generators_deterministic():
+    a = get_instance("anna").graph()
+    b = get_instance("anna").graph()
+    assert a == b
+
+
+def test_register_instances_exceed_paper_k():
+    from repro.graphs.cliques import clique_lower_bound
+
+    for name in ("mulsol.i.2", "zeroin.i.1"):
+        instance = get_instance(name)
+        assert instance.chromatic is None  # "> 20" in the paper
+        assert clique_lower_bound(instance.graph()) > 20
+
+
+def test_unknown_instance():
+    with pytest.raises(KeyError):
+        get_instance("nope")
+
+
+def test_scales():
+    assert set(SCALES) >= {"bench", "tiny", "small", "paper"}
+    paper = get_scale("paper")
+    assert paper.k_primary == 20 and paper.k_secondary == 30
+    assert paper.time_limit == 1000.0
+    assert len(paper.instances()) == 20
+    bench = get_scale("bench")
+    assert all(n in REGISTRY for n in bench.instance_names)
+    with pytest.raises(KeyError):
+        get_scale("huge")
+
+
+def test_queens_names_subset():
+    assert set(QUEENS_NAMES) <= set(REGISTRY)

@@ -1,0 +1,109 @@
+"""Optimizer tests: linear vs binary search, bounds, and fuzz vs brute."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formula import Formula
+from repro.pb.optimizer import minimize, minimize_binary, minimize_linear
+from repro.pb.presets import PRESETS, get_preset, solve_optimize
+from repro.sat.brute import brute_force_optimize
+
+
+def _small_problem():
+    # Cover >= constraints force at least 2 of 4 variables.
+    f = Formula(num_vars=4)
+    f.add_clause([1, 2])
+    f.add_clause([3, 4])
+    f.set_objective([(1, v) for v in range(1, 5)])
+    return f
+
+
+def test_linear_finds_optimum():
+    result = minimize_linear(_small_problem())
+    assert result.is_optimal and result.best_value == 2
+
+
+def test_binary_finds_optimum():
+    result = minimize_binary(_small_problem())
+    assert result.is_optimal and result.best_value == 2
+
+
+def test_upper_bound_hint_respected():
+    result = minimize_linear(_small_problem(), upper_bound_hint=3)
+    assert result.is_optimal and result.best_value == 2
+
+
+def test_binary_retries_too_tight_hint():
+    result = minimize_binary(_small_problem(), upper_bound_hint=1)
+    assert result.is_optimal and result.best_value == 2
+
+
+def test_lower_bound_short_circuits():
+    result = minimize_linear(_small_problem(), lower_bound=2)
+    assert result.is_optimal and result.best_value == 2
+
+
+def test_unsat_problem():
+    f = Formula(num_vars=1)
+    f.add_clause([1])
+    f.add_clause([-1])
+    f.set_objective([(1, 1)])
+    assert minimize(f, strategy="linear").is_unsat
+    assert minimize(f, strategy="binary").is_unsat
+
+
+def test_missing_objective_rejected():
+    f = Formula(num_vars=1)
+    f.add_clause([1])
+    with pytest.raises(ValueError):
+        minimize_linear(f)
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        minimize(_small_problem(), strategy="random")
+
+
+def test_presets_exist_and_solve():
+    assert set(PRESETS) == {"pbs2", "galena", "pueblo"}
+    for name in PRESETS:
+        result = solve_optimize(_small_problem(), preset=name)
+        assert result.is_optimal and result.best_value == 2
+
+
+def test_unknown_preset():
+    with pytest.raises(KeyError):
+        get_preset("cplex")
+
+
+@st.composite
+def objective_problem(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    f = Formula(num_vars=n)
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        width = draw(st.integers(min_value=1, max_value=n))
+        vs = draw(
+            st.lists(st.integers(min_value=1, max_value=n),
+                     min_size=width, max_size=width, unique=True)
+        )
+        terms = [(draw(st.integers(min_value=-3, max_value=3)), v) for v in vs]
+        f.add_pb(terms, draw(st.sampled_from([">=", "<="])),
+                 draw(st.integers(min_value=-2, max_value=4)))
+    f.set_objective(
+        [(draw(st.integers(min_value=1, max_value=3)),
+          v * draw(st.sampled_from([1, -1])))
+         for v in range(1, n + 1)]
+    )
+    return f
+
+
+@settings(max_examples=60, deadline=None)
+@given(objective_problem(), st.sampled_from(["linear", "binary"]))
+def test_optimizer_matches_brute_force(formula, strategy):
+    expected = brute_force_optimize(formula)
+    actual = minimize(formula, strategy=strategy)
+    assert actual.status == expected.status
+    if actual.is_optimal:
+        assert actual.best_value == expected.best_value
+        assert formula.evaluate(actual.best_model)

@@ -1,0 +1,98 @@
+"""Permutation algebra tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symmetry.permutation import Permutation
+
+perms = st.integers(min_value=1, max_value=8).flatmap(
+    lambda n: st.permutations(range(n)).map(Permutation)
+)
+
+
+def test_identity():
+    e = Permutation.identity(4)
+    assert e.is_identity
+    assert e(2) == 2
+    assert e.support() == []
+
+
+def test_from_cycles():
+    p = Permutation.from_cycles(4, [(0, 1, 2)])
+    assert (p(0), p(1), p(2), p(3)) == (1, 2, 0, 3)
+    with pytest.raises(ValueError):
+        Permutation.from_cycles(4, [(0, 1), (1, 2)])  # overlapping cycles
+
+
+def test_from_mapping():
+    p = Permutation.from_mapping(3, {0: 1, 1: 0})
+    assert p.image == (1, 0, 2)
+
+
+def test_invalid_image_rejected():
+    with pytest.raises(ValueError):
+        Permutation([0, 0, 1])
+
+
+def test_compose_convention():
+    # (p * q)(x) == p(q(x))
+    p = Permutation.from_cycles(3, [(0, 1)])
+    q = Permutation.from_cycles(3, [(1, 2)])
+    assert (p * q)(2) == p(q(2)) == p(1) == 0
+
+
+def test_cycles_and_order():
+    p = Permutation.from_cycles(6, [(0, 1, 2), (3, 4)])
+    assert sorted(len(c) for c in p.cycles()) == [2, 3]
+    assert p.order() == 6
+    assert Permutation.identity(3).order() == 1
+
+
+def test_power():
+    p = Permutation.from_cycles(5, [(0, 1, 2, 3, 4)])
+    assert p.power(5).is_identity
+    assert p.power(-1) == p.inverse()
+    assert p.power(0).is_identity
+
+
+def test_degree_mismatch():
+    with pytest.raises(ValueError):
+        Permutation.identity(3) * Permutation.identity(4)
+
+
+@given(perms)
+def test_inverse_roundtrip(p):
+    assert (p * p.inverse()).is_identity
+    assert (p.inverse() * p).is_identity
+    assert p.inverse().inverse() == p
+
+
+@given(perms)
+def test_order_annihilates(p):
+    assert p.power(p.order()).is_identity
+
+
+@given(perms)
+def test_cycles_reconstruct(p):
+    rebuilt = Permutation.from_cycles(p.degree, p.cycles())
+    assert rebuilt == p
+
+
+@given(perms, perms, perms)
+def test_associativity(a, b, c):
+    if a.degree == b.degree == c.degree:
+        assert (a * b) * c == a * (b * c)
+
+
+def test_repr_cycle_notation():
+    p = Permutation.from_cycles(3, [(0, 1)])
+    assert "(0 1)" in repr(p)
+    assert "identity" in repr(Permutation.identity(2))
+
+
+def test_hash_consistency():
+    a = Permutation([1, 0, 2])
+    b = Permutation.from_cycles(3, [(0, 1)])
+    assert a == b and hash(a) == hash(b)
+    assert len({a, b}) == 1

@@ -1,0 +1,91 @@
+"""CNF preprocessing tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formula import Formula
+from repro.sat.brute import brute_force_solve
+from repro.sat.preprocessing import preprocess
+
+
+def test_unit_propagation_chain():
+    f = Formula(num_vars=3)
+    f.add_clause([1])
+    f.add_clause([-1, 2])
+    f.add_clause([-2, 3])
+    result = preprocess(f)
+    assert not result.is_unsat
+    assert result.forced == {1: True, 2: True, 3: True}
+    assert result.units_propagated == 3
+    assert not result.formula.clauses
+
+
+def test_unit_conflict_unsat():
+    f = Formula(num_vars=1)
+    f.add_clause([1])
+    f.add_clause([-1])
+    assert preprocess(f).is_unsat
+
+
+def test_pure_literal_elimination():
+    f = Formula(num_vars=3)
+    f.add_clause([1, 2])
+    f.add_clause([1, 3])
+    f.add_clause([-2, -3])
+    result = preprocess(f)
+    # x1 is pure positive: gets fixed, its clauses vanish.
+    assert result.forced.get(1) is True
+    assert result.pure_eliminated >= 1
+
+
+def test_subsumption():
+    f = Formula(num_vars=3)
+    f.add_clause([1, 2])
+    f.add_clause([1, 2, 3])
+    f.add_clause([-1, -2])
+    f.add_clause([-1, -2, -3])
+    result = preprocess(f)
+    assert result.subsumed == 2
+
+
+def test_self_subsuming_resolution():
+    # (a | b) and (a | ~b | c) strengthen the second to (a | c).
+    f = Formula(num_vars=3)
+    f.add_clause([1, 2])
+    f.add_clause([1, -2, 3])
+    f.add_clause([-1, 2])  # keep the formula from collapsing to units
+    result = preprocess(f)
+    assert result.strengthened >= 1
+
+
+def test_rejects_pb():
+    f = Formula(num_vars=2)
+    f.add_pb([(1, 1), (1, 2)], ">=", 1)
+    with pytest.raises(ValueError):
+        preprocess(f)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_preprocessing_preserves_satisfiability(data):
+    n = data.draw(st.integers(min_value=1, max_value=6))
+    f = Formula(num_vars=n)
+    for _ in range(data.draw(st.integers(min_value=1, max_value=12))):
+        width = data.draw(st.integers(min_value=1, max_value=3))
+        f.add_clause([
+            data.draw(st.integers(min_value=1, max_value=n))
+            * data.draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        ])
+    before = brute_force_solve(f).status
+    result = preprocess(f)
+    if result.is_unsat:
+        assert before == "UNSAT"
+        return
+    # Forced assignment must extend to a model iff the original had one.
+    reduced = result.formula.copy()
+    for var, value in result.forced.items():
+        reduced.add_clause([var if value else -var])
+    after = brute_force_solve(reduced).status
+    assert after == before

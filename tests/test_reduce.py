@@ -1,0 +1,95 @@
+"""Kernelization tests: peeling, extension, reduced solving."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.reduce import (
+    extend_coloring,
+    peel_low_degree,
+    solve_with_reduction,
+)
+from repro.coloring.sat_pipeline import sat_k_colorable
+from repro.graphs.generators import book_graph, queens_graph
+from repro.graphs.graph import Graph
+
+
+def test_peel_tree_vanishes():
+    # Every vertex of a tree has degree < 2 at some peeling stage.
+    tree = Graph.from_edges(6, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)])
+    kernel = peel_low_degree(tree, 2)
+    assert kernel.fully_reduced
+    coloring = extend_coloring(kernel, {})
+    assert tree.is_proper_coloring(coloring)
+    assert len(set(coloring.values())) <= 2
+
+
+def test_peel_keeps_core():
+    # Triangle + pendant: peeling at k=2 drops only the pendant
+    # (triangle vertices keep degree >= 2).
+    g = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+    kernel = peel_low_degree(g, 2)
+    assert kernel.graph.num_vertices == 3
+    assert kernel.kernel_to_original == [0, 1, 2]
+
+
+def test_peel_nothing_when_k_small():
+    k4 = Graph.from_edges(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+    kernel = peel_low_degree(k4, 3)
+    assert kernel.graph.num_vertices == 4  # all degrees are 3 >= 3
+
+
+def test_extension_is_proper():
+    g = queens_graph(4, 4)
+    kernel = peel_low_degree(g, 6)
+    status, sub_coloring = sat_k_colorable(kernel.graph, 6)
+    assert status == "SAT"
+    coloring = extend_coloring(kernel, sub_coloring)
+    assert g.is_proper_coloring(coloring)
+    assert max(coloring.values()) <= 6
+
+
+def test_solve_with_reduction_sat():
+    g = book_graph(40, 90, seed=3)  # sparse: heavy peeling expected
+    result = solve_with_reduction(g, 8, sat_k_colorable)
+    assert result.status == "SAT"
+    assert g.is_proper_coloring(result.coloring)
+    assert result.kernel_vertices < g.num_vertices
+
+
+def test_solve_with_reduction_unsat():
+    k4 = Graph.from_edges(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+    result = solve_with_reduction(k4, 3, sat_k_colorable)
+    assert result.status == "UNSAT"
+    assert result.coloring is None
+
+
+def test_components_solved_independently():
+    # Two disjoint K_{3,3}: degeneracy 3 >= k=3 so nothing peels, and
+    # the kernel splits into two components (chi = 2 <= 3: SAT).
+    edges = []
+    for base in (0, 6):
+        for u in range(3):
+            for v in range(3, 6):
+                edges.append((base + u, base + v))
+    g = Graph.from_edges(12, edges)
+    result = solve_with_reduction(g, 3, sat_k_colorable)
+    assert result.status == "SAT"
+    assert result.components_solved == 2
+    assert result.kernel_vertices == 12
+    assert g.is_proper_coloring(result.coloring)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=4), st.data())
+def test_reduction_equivalent_to_direct(n, k, data):
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if data.draw(st.booleans()):
+                g.add_edge(u, v)
+    direct_status, _ = sat_k_colorable(g, k)
+    reduced = solve_with_reduction(g, k, sat_k_colorable)
+    assert reduced.status == direct_status
+    if reduced.status == "SAT":
+        assert g.is_proper_coloring(reduced.coloring)
+        assert max(reduced.coloring.values(), default=1) <= k

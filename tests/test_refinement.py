@@ -1,0 +1,123 @@
+"""Equitable partition refinement tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import queens_graph
+from repro.graphs.graph import Graph
+from repro.symmetry.refinement import (
+    OrderedPartition,
+    individualize,
+    is_equitable,
+    refine,
+)
+
+
+def test_unit_partition():
+    part = OrderedPartition.unit(4)
+    assert part.cells == [[0, 1, 2, 3]]
+    assert not part.is_discrete
+    assert part.first_non_singleton() == 0
+
+
+def test_from_colors():
+    part = OrderedPartition.from_colors([1, 0, 1, 0])
+    assert part.cells == [[1, 3], [0, 2]]
+    assert part.cell_of[0] == 1
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        OrderedPartition([[0, 1], [1, 2]], 3)
+    with pytest.raises(ValueError):
+        OrderedPartition([[0], []], 1)
+
+
+def test_labeling_requires_discrete():
+    part = OrderedPartition([[1], [0]], 2)
+    assert part.labeling() == [1, 0]
+    with pytest.raises(ValueError):
+        OrderedPartition.unit(2).labeling()
+
+
+def test_refine_path_graph():
+    # Path 0-1-2: endpoints split from the middle vertex.
+    g = Graph.from_edges(3, [(0, 1), (1, 2)])
+    refined = refine(g, OrderedPartition.unit(3))
+    assert is_equitable(g, refined)
+    shapes = sorted(len(c) for c in refined.cells)
+    assert shapes == [1, 2]
+
+
+def test_refine_regular_graph_stays_coarse():
+    # Cycles are regular: the unit partition is already equitable.
+    g = Graph.from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+    refined = refine(g, OrderedPartition.unit(5))
+    assert len(refined.cells) == 1
+
+
+def test_refine_respects_initial_colors():
+    g = Graph.from_edges(4, [(0, 1), (2, 3)])
+    start = OrderedPartition.from_colors([0, 0, 1, 1])
+    refined = refine(g, start)
+    assert is_equitable(g, refined)
+    for cell in refined.cells:
+        colors = {0 if v < 2 else 1 for v in cell}
+        assert len(colors) == 1  # never merges across initial colors
+
+
+def test_individualize():
+    part = OrderedPartition.unit(3)
+    child = individualize(part, 0, 1)
+    assert child.cells == [[1], [0, 2]]
+    with pytest.raises(ValueError):
+        individualize(part, 0, 99)
+
+
+def test_individualize_singleton_noop():
+    part = OrderedPartition([[0], [1, 2]], 3)
+    child = individualize(part, 0, 0)
+    assert child.cells == part.cells
+
+
+def test_refine_after_individualization():
+    g = Graph.from_edges(4, [(i, (i + 1) % 4) for i in range(4)])  # C4
+    part = refine(g, OrderedPartition.unit(4))
+    assert len(part.cells) == 1
+    child = refine(g, individualize(part, 0, 0), active=[0])
+    assert is_equitable(g, child)
+    # Individualizing one vertex of C4 separates its antipode.
+    assert sorted(len(c) for c in child.cells) == [1, 1, 2]
+
+
+def test_shape_and_copy():
+    part = OrderedPartition([[0, 1], [2]], 3)
+    assert part.shape() == [2, 1]
+    dup = part.copy()
+    dup.cells[0].append(99)
+    assert part.cells[0] == [0, 1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=9), st.data())
+def test_refinement_is_equitable_on_random_graphs(n, data):
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if data.draw(st.booleans()):
+                g.add_edge(u, v)
+    refined = refine(g, OrderedPartition.unit(n))
+    assert is_equitable(g, refined)
+    # Refinement of an equitable partition is stable (idempotent shapes).
+    again = refine(g, refined)
+    assert again.shape() == refined.shape()
+
+
+def test_refinement_invariant_under_relabeling():
+    g = queens_graph(3, 3)
+    perm = [8, 6, 7, 2, 0, 1, 5, 3, 4]
+    h = g.relabel(perm)
+    shape_g = refine(g, OrderedPartition.unit(9)).shape()
+    shape_h = refine(h, OrderedPartition.unit(9)).shape()
+    assert shape_g == shape_h

@@ -1,0 +1,142 @@
+"""Section 4.3 comparators: Coudert, Benhamou NECSP, Mehrotra-Trick."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.coudert import coudert_chromatic_number
+from repro.coloring.mehrotra_trick import (
+    build_mt_formula,
+    maximal_independent_sets,
+    mt_chromatic_number,
+)
+from repro.coloring.necsp import necsp_chromatic_number, solve_necsp
+from repro.graphs.generators import mycielski_graph, queens_graph
+from repro.graphs.graph import Graph
+
+
+def brute_chromatic(graph, limit=6):
+    for k in range(1, limit + 1):
+        for a in itertools.product(range(k), repeat=graph.num_vertices):
+            if all(a[u] != a[v] for u, v in graph.edges()):
+                return k
+    return limit + 1
+
+
+# ---------------------------------------------------------------- Coudert
+def test_coudert_known_instances():
+    assert coudert_chromatic_number(mycielski_graph(3)).chromatic_number == 4
+    assert coudert_chromatic_number(queens_graph(5, 5)).chromatic_number == 5
+
+
+def test_coudert_result_proper_and_optimal():
+    g = queens_graph(5, 5)
+    result = coudert_chromatic_number(g)
+    assert result.optimal
+    assert g.is_proper_coloring(result.coloring)
+
+
+def test_coudert_empty_graph():
+    assert coudert_chromatic_number(Graph(0)).chromatic_number == 0
+
+
+def test_coudert_node_limit():
+    result = coudert_chromatic_number(queens_graph(6, 6), node_limit=1)
+    assert result.chromatic_number >= 7  # incumbent from DSATUR
+
+
+# ------------------------------------------------------------------ NECSP
+def test_necsp_decision():
+    k4 = Graph.from_edges(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+    assert solve_necsp(k4, 4).status == "SAT"
+    assert solve_necsp(k4, 3).status == "UNSAT"
+    assert solve_necsp(k4, 0).status == "UNSAT"
+    assert solve_necsp(Graph(0), 1).status == "SAT"
+
+
+def test_necsp_assignment_proper():
+    g = queens_graph(5, 5)
+    result = solve_necsp(g, 5)
+    assert result.status == "SAT"
+    assert g.is_proper_coloring(result.assignment)
+
+
+def test_necsp_chromatic_known():
+    assert necsp_chromatic_number(mycielski_graph(3)).chromatic_number == 4
+    assert necsp_chromatic_number(queens_graph(5, 5)).chromatic_number == 5
+
+
+def test_value_symmetry_breaking_prunes():
+    """Benhamou's claim: interchangeable-value branching explores fewer
+    nodes on UNSAT queries (where the whole tree must be refuted)."""
+    g = queens_graph(5, 5)
+    with_sb = solve_necsp(g, 4, break_value_symmetry=True)
+    without_sb = solve_necsp(g, 4, break_value_symmetry=False, node_limit=2_000_000)
+    assert with_sb.status == "UNSAT"
+    if without_sb.status == "UNSAT":
+        assert with_sb.nodes_explored <= without_sb.nodes_explored
+
+
+# ---------------------------------------------------------- Mehrotra-Trick
+def test_mis_enumeration_triangle():
+    triangle = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    sets = maximal_independent_sets(triangle)
+    assert sorted(sorted(s) for s in sets) == [[0], [1], [2]]
+
+
+def test_mis_enumeration_path():
+    path = Graph.from_edges(3, [(0, 1), (1, 2)])
+    sets = {frozenset(s) for s in maximal_independent_sets(path)}
+    assert sets == {frozenset({0, 2}), frozenset({1})}
+
+
+def test_mis_limit():
+    g = Graph(10)  # one maximal set: everything
+    assert len(maximal_independent_sets(g)) == 1
+    empty_graph_sets = maximal_independent_sets(Graph(0))
+    assert empty_graph_sets == []
+
+
+def test_mt_formula_shape():
+    triangle = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    columns = maximal_independent_sets(triangle)
+    formula, var_map = build_mt_formula(triangle, columns)
+    assert len(var_map) == 3
+    assert len(formula.clauses) == 3  # one cover constraint per vertex
+    assert len(formula.objective) == 3
+
+
+def test_mt_chromatic_known():
+    assert mt_chromatic_number(mycielski_graph(3)).chromatic_number == 4
+    result = mt_chromatic_number(queens_graph(4, 4), time_limit=120)
+    assert result.chromatic_number == 5
+    assert queens_graph(4, 4).is_proper_coloring(result.coloring)
+
+
+def test_mt_has_no_color_symmetry():
+    """The paper: the MT formulation 'inherently breaks problem
+    symmetries' — no K! color factor ever appears."""
+    from repro.symmetry.detect import detect_symmetries
+
+    g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])  # C4
+    columns = maximal_independent_sets(g)
+    formula, _ = build_mt_formula(g, columns)
+    report = detect_symmetries(formula)
+    # Aut(C4) has order 8; color symmetry would multiply by K! >= 6.
+    assert report.order <= 8
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.data())
+def test_all_baselines_agree(n, data):
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if data.draw(st.booleans()):
+                g.add_edge(u, v)
+    expected = brute_chromatic(g, limit=n)
+    assert coudert_chromatic_number(g).chromatic_number == expected
+    assert necsp_chromatic_number(g).chromatic_number == expected
+    assert mt_chromatic_number(g).chromatic_number == expected

@@ -1,0 +1,90 @@
+"""High-level solve pipeline tests: all solvers, SBPs, agreement."""
+
+import pytest
+
+from repro.coloring.solve import (
+    SOLVER_NAMES,
+    find_chromatic_number,
+    prepare_formula,
+    solve_coloring,
+)
+from repro.graphs.generators import mycielski_graph, queens_graph
+from repro.graphs.graph import Graph
+
+TRIANGLE_PLUS = Graph.from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)], name="fig1")
+
+
+@pytest.mark.parametrize("solver", SOLVER_NAMES)
+def test_all_solvers_agree_on_figure1(solver):
+    result = solve_coloring(TRIANGLE_PLUS, 4, solver=solver, time_limit=30)
+    assert result.status == "OPTIMAL"
+    assert result.num_colors == 3
+    assert TRIANGLE_PLUS.is_proper_coloring(result.coloring)
+
+
+@pytest.mark.parametrize("sbp", ["none", "nu", "ca", "li", "sc", "nu+sc"])
+def test_all_sbps_agree_on_myciel3(sbp):
+    g = mycielski_graph(3)
+    result = solve_coloring(g, 5, solver="pbs2", sbp_kind=sbp, time_limit=60)
+    assert result.status == "OPTIMAL" and result.num_colors == 4
+
+
+def test_instance_dependent_sbps_sound():
+    g = queens_graph(4, 4)
+    base = solve_coloring(g, 6, solver="pbs2", time_limit=60)
+    with_sbps = solve_coloring(
+        g, 6, solver="pbs2", instance_dependent=True, time_limit=60
+    )
+    assert base.status == with_sbps.status == "OPTIMAL"
+    assert base.num_colors == with_sbps.num_colors == 5
+    assert with_sbps.detection is not None
+    assert with_sbps.detection.num_generators > 0
+
+
+def test_detection_cache_reused():
+    g = queens_graph(4, 4)
+    cache = {}
+    solve_coloring(g, 5, instance_dependent=True, time_limit=60, detection_cache=cache)
+    assert len(cache) == 1
+    report = next(iter(cache.values()))
+    solve_coloring(g, 5, instance_dependent=True, time_limit=60, detection_cache=cache)
+    assert next(iter(cache.values())) is report
+
+
+def test_unsat_when_budget_too_small():
+    k4 = Graph.from_edges(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+    result = solve_coloring(k4, 3, solver="pbs2", time_limit=30)
+    assert result.status == "UNSAT"
+    assert result.num_colors is None
+
+
+def test_unknown_solver_rejected():
+    with pytest.raises(ValueError):
+        solve_coloring(TRIANGLE_PLUS, 3, solver="cplex")
+
+
+def test_prepare_formula_shapes():
+    encoding, report = prepare_formula(TRIANGLE_PLUS, 3, sbp_kind="nu")
+    assert report is None
+    assert len(encoding.formula.clauses) > 0
+    encoding, report = prepare_formula(
+        TRIANGLE_PLUS, 3, instance_dependent=True
+    )
+    assert report is not None
+
+
+def test_find_chromatic_number_defaults():
+    result = find_chromatic_number(mycielski_graph(3), time_limit=60)
+    assert result.status == "OPTIMAL"
+    assert result.num_colors == 4
+
+
+def test_find_chromatic_number_empty_graph():
+    result = find_chromatic_number(Graph(0))
+    assert result.num_colors == 0
+
+
+def test_timeout_reports_unknown_or_sat():
+    g = queens_graph(6, 6)
+    result = solve_coloring(g, 9, solver="pbs2", time_limit=0.05)
+    assert result.status in ("UNKNOWN", "SAT", "OPTIMAL")

@@ -1,0 +1,116 @@
+"""Stress tests for solver internals: restarts, clause-DB reduction,
+phase saving, VSIDS, and the preprocessing + search integration."""
+
+import random
+
+from repro.core.formula import Formula
+from repro.sat.cdcl import CDCLSolver, solve_formula
+from repro.sat.preprocessing import preprocess
+from repro.sat.vsids import VSIDS
+from repro.sat.brute import brute_force_solve
+
+
+def _random_cnf(seed, n, m, width=3):
+    rng = random.Random(seed)
+    f = Formula(num_vars=n)
+    for _ in range(m):
+        f.add_clause([
+            rng.randint(1, n) * rng.choice([1, -1])
+            for _ in range(rng.randint(1, width))
+        ])
+    return f
+
+
+def test_db_reduction_triggers_and_stays_correct():
+    # Small DB cap forces many reductions; answers must stay correct.
+    for seed in range(8):
+        f = _random_cnf(seed, 12, 60)
+        solver = CDCLSolver(max_learned_start=5, max_learned_growth=1.0)
+        ok = solver.add_formula(f)
+        result = solver.solve() if ok else None
+        status = result.status if ok else "UNSAT"
+        assert status == brute_force_solve(f).status, seed
+        if ok and solver.stats.learned > 10:
+            assert solver.stats.deleted >= 0
+
+
+def test_aggressive_restarts_stay_correct():
+    for seed in range(8):
+        f = _random_cnf(seed + 100, 10, 45)
+        solver = CDCLSolver(restart_base=1)  # restart after every conflict
+        ok = solver.add_formula(f)
+        status = solver.solve().status if ok else "UNSAT"
+        assert status == brute_force_solve(f).status, seed
+
+
+def test_phase_default_true_still_correct():
+    for seed in range(6):
+        f = _random_cnf(seed + 200, 10, 40)
+        solver = CDCLSolver(phase_default=True)
+        ok = solver.add_formula(f)
+        status = solver.solve().status if ok else "UNSAT"
+        assert status == brute_force_solve(f).status, seed
+
+
+def test_vsids_pop_order():
+    v = VSIDS(3)
+    v.bump(2)
+    v.bump(2)
+    v.bump(3)
+    assigned = set()
+    assert v.pop_unassigned(lambda x: x in assigned) == 2
+    assigned.add(2)
+    v.push(2)  # pushed back (e.g. on backtrack) but still assigned
+    assert v.pop_unassigned(lambda x: x in assigned) == 3
+    assigned.update((3, 1))
+    v.push(3)
+    assert v.pop_unassigned(lambda x: x in assigned) == 0
+
+
+def test_vsids_rescale():
+    v = VSIDS(2)
+    for _ in range(2000):
+        v.bump(1)
+        v.decay()
+    # Activities stay finite and ordering is preserved.
+    assert v.activity[1] > v.activity[2]
+    assert v.pop_unassigned(lambda x: False) == 1
+
+
+def test_preprocess_then_solve_agrees():
+    for seed in range(15):
+        f = _random_cnf(seed + 300, 9, 35)
+        expected = brute_force_solve(f).status
+        pre = preprocess(f)
+        if pre.is_unsat:
+            assert expected == "UNSAT", seed
+            continue
+        result = solve_formula(pre.formula)
+        assert result.status == expected, seed
+
+
+def test_stats_populated():
+    f = _random_cnf(7, 10, 50)
+    solver = CDCLSolver()
+    if solver.add_formula(f):
+        result = solver.solve()
+        assert result.stats.propagations > 0
+        assert result.stats.time_seconds >= 0.0
+
+
+def test_solver_reuse_after_unsat_result():
+    solver = CDCLSolver()
+    solver.add_clause([1, 2])
+    assert solver.solve(assumptions=[-1, -2]).is_unsat
+    assert solver.solve().is_sat  # UNSAT was only under assumptions
+
+
+def test_large_implication_chain_fast():
+    n = 5000
+    solver = CDCLSolver(num_vars=n)
+    for i in range(1, n):
+        solver.add_clause([-i, i + 1])
+    solver.add_clause([1])
+    result = solver.solve()
+    assert result.is_sat
+    assert all(result.model[v] for v in (1, n // 2, n))
