@@ -1,0 +1,19 @@
+# Developer entry points. The tier-1 verification command is `make test`
+# (the same line CI / ROADMAP.md specify); `make bench-smoke` runs the
+# microbenchmarks once each without timing rounds as a fast regression
+# signal; `make bench` runs them for real.
+
+PYTHON ?= python
+PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench-smoke bench
+
+test:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q --benchmark-disable \
+		benchmarks/bench_solver_micro.py benchmarks/bench_preprocessing.py
+
+bench:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q --benchmark-only benchmarks/bench_*.py

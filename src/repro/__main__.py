@@ -4,11 +4,15 @@ Usage::
 
     python -m repro color graph.col [--solver pbs2] [--sbp nu+sc]
         [--instance-dependent] [--k 20] [--time-limit 60]
+        [--no-preprocess] [--no-reduce]
     python -m repro stats graph.col
     python -m repro detect graph.col --k 8
 
-``color`` runs the paper's full pipeline on a file; ``stats`` prints
-graph statistics and heuristic bounds; ``detect`` reports the symmetry
+``color`` runs the paper's full pipeline on a file — kernelization
+(low-degree peeling + component split) before encoding and CNF
+simplification after encoding are on by default, disable them with
+``--no-reduce`` / ``--no-preprocess``; ``stats`` prints graph
+statistics and heuristic bounds; ``detect`` reports the symmetry
 statistics of the encoded instance (a one-instance Table 2 row).
 """
 
@@ -57,12 +61,23 @@ def cmd_color(args) -> int:
         sbp_kind=args.sbp,
         instance_dependent=args.instance_dependent,
         time_limit=args.time_limit,
+        preprocess=args.preprocess,
+        reduce=args.reduce,
     )
     print(f"status:           {result.status}")
     if result.num_colors is not None:
         print(f"colors used:      {result.num_colors}")
     print(f"encode time:      {result.encode_seconds:.2f}s")
     print(f"solve time:       {result.solve_seconds:.2f}s")
+    info = result.pipeline
+    if info is not None and info.reduce:
+        print(f"kernel:           {info.kernel_vertices}/{info.original_vertices} vertices "
+              f"({info.peeled_vertices} peeled, {info.components_solved} components solved)")
+    if info is not None and info.simplify is not None and info.simplify.clauses_before:
+        s = info.simplify
+        print(f"preprocessing:    {s.clauses_before} -> {s.clauses_after} clauses "
+              f"({s.units_propagated} units, {s.subsumed} subsumed, "
+              f"{s.strengthened} strengthened)")
     if result.detection is not None:
         print(f"symmetry gens:    {result.detection.num_generators} "
               f"(detected in {result.detection.detection_seconds:.2f}s)")
@@ -109,6 +124,14 @@ def main(argv=None) -> int:
                          help="color budget (default: DSATUR bound)")
     p_color.add_argument("--time-limit", type=float, default=300.0)
     p_color.add_argument("--show-coloring", action="store_true")
+    p_color.add_argument(
+        "--preprocess", default=True, action=argparse.BooleanOptionalAction,
+        help="simplify the CNF clause database after encoding "
+             "(units, subsumption, self-subsuming resolution)")
+    p_color.add_argument(
+        "--reduce", default=True, action=argparse.BooleanOptionalAction,
+        help="kernelize the graph before encoding "
+             "(low-degree peeling + connected-component split)")
     p_color.set_defaults(func=cmd_color)
 
     p_detect = sub.add_parser("detect", help="symmetry statistics of the encoding")

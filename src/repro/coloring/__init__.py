@@ -37,6 +37,7 @@ from .sat_pipeline import (
 )
 from .solve import (
     ColoringSolveResult,
+    PipelineInfo,
     SOLVER_NAMES,
     find_chromatic_number,
     prepare_formula,
@@ -51,6 +52,7 @@ __all__ = [
     "ExactColoringResult",
     "Kernel",
     "MTResult",
+    "PipelineInfo",
     "ReducedSolve",
     "count_colorings",
     "distinct_colorings",

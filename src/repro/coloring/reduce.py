@@ -8,11 +8,15 @@ Two classical reductions, both exact for the *decision* problem
   fixpoint (this deletes everything outside the (K-1)-core);
 * **component split** — color connected components independently.
 
-``kernelize`` applies both and can reconstruct a full coloring from a
-coloring of the kernel; ``solve_with_reduction`` wraps the main solver
-with the reduction.  On sparse benchmarks (books, miles) the kernel is
-dramatically smaller than the input, which is exactly why the paper's
-"realistic graphs are relatively sparse" instances are tractable.
+``peel_low_degree`` builds the kernel and ``extend_coloring`` lifts a
+kernel coloring back to the full graph; ``solve_with_reduction`` wraps
+a decision solver with both reductions.  The optimization pipeline
+(``repro.coloring.solve``) reuses the same pieces with the peeling
+threshold set to the clique lower bound, which preserves the chromatic
+number, not just K-colorability.  On sparse benchmarks (books, miles)
+the kernel is dramatically smaller than the input, which is exactly why
+the paper's "realistic graphs are relatively sparse" instances are
+tractable.
 """
 
 from __future__ import annotations

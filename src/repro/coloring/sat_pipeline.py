@@ -9,10 +9,15 @@ route so that claim can be measured:
 * :func:`encode_k_coloring_cnf` — the decision encoding compiled to
   pure CNF (exactly-one constraints via a chosen cardinality encoding);
 * :func:`sat_k_colorable` — one decision call on the clause-only CDCL
-  solver;
+  solver, with optional CNF preprocessing (full equisatisfiable
+  simplification; the forced assignment and eliminated variables are
+  folded back into the model before decoding) and optional graph
+  kernelization (peeling + component split via
+  :func:`repro.coloring.reduce.solve_with_reduction`);
 * :func:`chromatic_number_sat` — chromatic number by descending linear
   or binary search over K, one fresh SAT instance per query (the
-  paper's Section 4.1 bound-tightening procedure).
+  paper's Section 4.1 bound-tightening procedure), with both
+  simplification stages on by default.
 """
 
 from __future__ import annotations
@@ -27,8 +32,10 @@ from ..graphs.cliques import clique_lower_bound
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
 from ..sat.cdcl import CDCLSolver
+from ..sat.preprocessing import preprocess as preprocess_cnf
 from ..sat.result import SAT, UNKNOWN, UNSAT
 from ..sbp.instance_independent import SBP_KINDS
+from .reduce import solve_with_reduction
 
 
 def encode_k_coloring_cnf(
@@ -94,25 +101,63 @@ def sat_k_colorable(
     time_limit: Optional[float] = None,
     amo_encoding: str = "pairwise",
     sbp_kind: str = "none",
+    preprocess: bool = True,
+    reduce: bool = False,
 ) -> Tuple[str, Optional[Dict[int, int]]]:
     """Decide K-colorability with the CNF CDCL solver.
 
     Returns ``(status, coloring)``; the coloring (vertex -> color) is
-    present when status is SAT.
+    present when status is SAT.  ``preprocess`` runs the full CNF
+    preprocessor on the encoding and reconstructs the model afterwards
+    (``decode`` always sees a total assignment); ``reduce`` peels
+    vertices of degree < K and splits components before encoding, which
+    is exact for the decision problem.
     """
     if k <= 0:
         return (UNSAT if graph.num_vertices else SAT), ({} if not graph.num_vertices else None)
+    if reduce:
+        start = time.monotonic()
+
+        def decide(sub: Graph, kk: int) -> Tuple[str, Optional[Dict[int, int]]]:
+            # The budget is shared by all kernel components, not per
+            # component — hand each one only what is left.
+            remaining = None
+            if time_limit is not None:
+                remaining = max(0.0, time_limit - (time.monotonic() - start))
+            return sat_k_colorable(
+                sub, kk, time_limit=remaining, amo_encoding=amo_encoding,
+                sbp_kind=sbp_kind, preprocess=preprocess, reduce=False,
+            )
+
+        reduced = solve_with_reduction(graph, k, decide)
+        return reduced.status, reduced.coloring
     formula, x = encode_k_coloring_cnf(graph, k, amo_encoding, sbp_kind)
-    solver = CDCLSolver(num_vars=formula.num_vars)
-    if not solver.add_formula(formula):
-        return UNSAT, None
-    result = solver.solve(time_limit=time_limit)
-    if not result.is_sat:
-        return result.status, None
+    if preprocess:
+        pre = preprocess_cnf(formula)
+        if pre.is_unsat:
+            return UNSAT, None
+        if pre.formula.clauses:
+            solver = CDCLSolver(num_vars=pre.formula.num_vars)
+            if not solver.add_formula(pre.formula):
+                return UNSAT, None
+            result = solver.solve(time_limit=time_limit)
+            if not result.is_sat:
+                return result.status, None
+            model = pre.extend_model(result.model)
+        else:
+            model = pre.extend_model({})  # preprocessing solved it
+    else:
+        solver = CDCLSolver(num_vars=formula.num_vars)
+        if not solver.add_formula(formula):
+            return UNSAT, None
+        result = solver.solve(time_limit=time_limit)
+        if not result.is_sat:
+            return result.status, None
+        model = result.model
     coloring = {}
     for v in range(graph.num_vertices):
         for c in range(1, k + 1):
-            if result.model[x[(v, c)]]:
+            if model[x[(v, c)]]:
                 coloring[v] = c
                 break
     return SAT, coloring
@@ -135,12 +180,16 @@ def chromatic_number_sat(
     time_limit: Optional[float] = None,
     amo_encoding: str = "pairwise",
     sbp_kind: str = "none",
+    preprocess: bool = True,
+    reduce: bool = True,
 ) -> SatPipelineResult:
     """Chromatic number via repeated CNF-SAT decision calls.
 
     ``strategy`` is ``"linear"`` (tighten from the DSATUR bound, the
     paper's suggestion for small bounds) or ``"binary"`` (bisect between
-    the clique bound and DSATUR, its suggestion otherwise).
+    the clique bound and DSATUR, its suggestion otherwise).  Each
+    decision call runs the simplification pipeline (kernelization +
+    CNF preprocessing) unless disabled.
     """
     if strategy not in ("linear", "binary"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -171,6 +220,7 @@ def chromatic_number_sat(
             status, coloring = sat_k_colorable(
                 graph, k, time_limit=budget,
                 amo_encoding=amo_encoding, sbp_kind=sbp_kind,
+                preprocess=preprocess, reduce=reduce,
             )
             if status == UNKNOWN:
                 return finish(SAT, k + 1)
@@ -190,6 +240,7 @@ def chromatic_number_sat(
         status, coloring = sat_k_colorable(
             graph, mid, time_limit=budget,
             amo_encoding=amo_encoding, sbp_kind=sbp_kind,
+            preprocess=preprocess, reduce=reduce,
         )
         if status == UNKNOWN:
             return finish(SAT, hi)

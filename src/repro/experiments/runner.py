@@ -63,8 +63,16 @@ def run_one(
     instance_dependent: bool,
     time_limit: float,
     detection_node_limit: int,
+    preprocess: bool = True,
+    reduce: bool = False,
 ) -> RunRecord:
-    """Solve one instance under one configuration."""
+    """Solve one instance under one configuration.
+
+    ``preprocess``/``reduce`` toggle the simplification pipeline; the
+    tables keep kernelization off by default so the measured formulas
+    match the paper's encodings, while clause simplification (which is
+    model-preserving) runs like the paper's Chaff-lineage solvers do.
+    """
     graph = instance.graph()
     start = time.monotonic()
     try:
@@ -77,6 +85,8 @@ def run_one(
             time_limit=time_limit,
             detection_node_limit=detection_node_limit,
             detection_cache=DETECTION_CACHE,
+            preprocess=preprocess,
+            reduce=reduce,
         )
         status = result.status
         num_colors = result.num_colors
@@ -109,6 +119,8 @@ def run_cell(
     time_limit: float,
     detection_node_limit: int,
     verbose: bool = False,
+    preprocess: bool = True,
+    reduce: bool = False,
 ) -> CellResult:
     """Aggregate one table cell over the instance set."""
     cell = CellResult(solver=solver, sbp_kind=sbp_kind, instance_dependent=instance_dependent)
@@ -116,6 +128,7 @@ def run_cell(
         record = run_one(
             instance, k, solver, sbp_kind, instance_dependent,
             time_limit, detection_node_limit,
+            preprocess=preprocess, reduce=reduce,
         )
         cell.add(record, time_limit)
         if verbose:

@@ -3,7 +3,13 @@
 from .brute import brute_force_count, brute_force_optimize, brute_force_solve
 from .cdcl import CDCLSolver, WClause, solve_formula
 from .luby import luby, luby_sequence
-from .preprocessing import PreprocessResult, preprocess
+from .preprocessing import (
+    PreprocessResult,
+    SimplifyStats,
+    preprocess,
+    simplify_formula,
+    subsume_clauses,
+)
 from .result import (
     OPTIMAL,
     SAT,
@@ -21,6 +27,7 @@ __all__ = [
     "OptimizeResult",
     "PreprocessResult",
     "SAT",
+    "SimplifyStats",
     "SolveResult",
     "SolverStats",
     "UNKNOWN",
@@ -33,5 +40,7 @@ __all__ = [
     "luby",
     "luby_sequence",
     "preprocess",
+    "simplify_formula",
     "solve_formula",
+    "subsume_clauses",
 ]

@@ -5,18 +5,34 @@ up-front; SBPs in particular create many unit clauses (the SC
 construction is *only* unit clauses) that preprocessing folds into the
 formula.  Implemented here:
 
+* canonical intake: tautologies and duplicate clauses are dropped
+  before any other rule runs (a tautology is never a valid subsumer —
+  resolving on it returns the other clause unchanged);
 * unit propagation to fixpoint (with the implied assignment returned);
 * pure-literal elimination;
-* clause subsumption (forward, signature-based);
-* self-subsuming resolution (strengthening).
+* clause subsumption and self-subsuming resolution (strengthening),
+  driven by an occurrence-list index rather than a pairwise scan, with
+  strengthened clauses re-queued so no opportunity is missed;
+* bounded variable elimination (NiVER-style: a variable is resolved
+  away when doing so does not grow the clause set), with the removed
+  clauses saved so models can be reconstructed.
 
 ``preprocess`` runs them to a joint fixpoint and reports what it did.
-The result is equisatisfiable — models extend the returned forced
-assignment.
+The result is equisatisfiable, *not* equivalent: pure-literal
+elimination and variable elimination discard models.  A model of the
+reduced formula is lifted to a model of the original formula with
+:meth:`PreprocessResult.extend_model`, which applies the forced
+assignment and replays the variable-elimination stack in reverse.
+
+``simplify_formula`` is the restricted, *model-preserving* subset
+(tautology/duplicate removal, unit propagation with the units kept,
+subsumption, strengthening) that is safe to run on mixed CNF+PB
+formulas before handing them to the PB/ILP optimizers.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -31,14 +47,79 @@ class PreprocessResult:
 
     formula: Optional[Formula]  # None when UNSAT was derived
     forced: Dict[int, bool] = field(default_factory=dict)
+    num_vars: int = 0
     units_propagated: int = 0
     pure_eliminated: int = 0
     subsumed: int = 0
     strengthened: int = 0
+    tautologies_removed: int = 0
+    duplicates_removed: int = 0
+    variables_eliminated: int = 0
+    # (var, clauses containing it at elimination time), in elimination
+    # order; extend_model replays the stack in reverse.
+    eliminated: List[Tuple[int, List[Tuple[int, ...]]]] = field(default_factory=list)
 
     @property
     def is_unsat(self) -> bool:
         return self.formula is None
+
+    def extend_model(self, model: Optional[Dict[int, bool]] = None) -> Dict[int, bool]:
+        """Lift a model of the reduced formula to one of the original.
+
+        Applies the forced assignment, then replays the variable
+        elimination stack in reverse: an eliminated variable is set so
+        that every clause it was resolved out of is satisfied (such a
+        value always exists when the rest of the assignment satisfies
+        the resolvents).  Variables constrained by nothing default to
+        False.  The returned assignment is total over ``num_vars``.
+        """
+        full: Dict[int, bool] = dict(model) if model else {}
+        full.update(self.forced)
+        # Total assignment first: the replay below may only see assigned
+        # variables, otherwise two clauses can appear to demand opposite
+        # phases (vars absent from the reduced formula are free).
+        for v in range(1, self.num_vars + 1):
+            full.setdefault(v, False)
+        for var, saved in reversed(self.eliminated):
+            required: Optional[bool] = None
+            for clause in saved:
+                phase: Optional[bool] = None
+                satisfied = False
+                for lit in clause:
+                    v = var_of(lit)
+                    if v == var:
+                        phase = lit > 0
+                        continue
+                    if (lit > 0) == full.get(v, False):
+                        satisfied = True
+                        break
+                if not satisfied and phase is not None:
+                    required = phase
+            if required is not None:
+                full[var] = required
+        return full
+
+
+def _canonical_intake(
+    raw: List[Tuple[int, ...]],
+) -> Tuple[List[Tuple[int, ...]], int, int]:
+    """Drop tautologies and duplicate clauses; returns (clauses, #taut, #dup)."""
+    clauses: List[Tuple[int, ...]] = []
+    seen: Set[Tuple[int, ...]] = set()
+    tautologies = 0
+    duplicates = 0
+    for literals in raw:
+        unique = frozenset(literals)
+        if any(-lit in unique for lit in unique):
+            tautologies += 1
+            continue
+        canonical = tuple(sorted(unique, key=lambda l: (var_of(l), l < 0)))
+        if canonical in seen:
+            duplicates += 1
+            continue
+        seen.add(canonical)
+        clauses.append(canonical)
+    return clauses, tautologies, duplicates
 
 
 def _propagate_units(
@@ -102,61 +183,189 @@ def _eliminate_pure(
     return kept, len(pure)
 
 
-def _signature(clause: Tuple[int, ...]) -> int:
-    sig = 0
-    for lit in clause:
-        sig |= 1 << (var_of(lit) & 63)
-    return sig
+def subsume_clauses(
+    clauses: List[Tuple[int, ...]],
+) -> Tuple[List[Tuple[int, ...]], int, int]:
+    """Subsumption + self-subsuming resolution via an occurrence index.
 
+    Each clause is indexed under every literal it contains; a clause
+    looks for its subsumption victims only among the occurrences of its
+    least-frequent literal, and for strengthening victims among the
+    occurrences of each literal's complement.  Strengthened clauses are
+    re-queued, so a clause shrunk mid-pass still subsumes everything it
+    can (the sorted-once pairwise loop missed those).  Tautological
+    input clauses are dropped: resolving on a tautology returns the
+    other clause unchanged, so treating one as a subsumer or
+    strengthener is unsound.
 
-def _subsume(clauses: List[Tuple[int, ...]]) -> Tuple[List[Tuple[int, ...]], int, int]:
-    """Remove subsumed clauses; strengthen via self-subsuming resolution."""
-    ordered = sorted(set(clauses), key=len)
-    sigs = [_signature(c) for c in ordered]
-    sets = [frozenset(c) for c in ordered]
-    removed = [False] * len(ordered)
+    Returns ``(kept, subsumed, strengthened)``.  Strengthening can
+    produce unit or empty clauses; callers must handle both.
+    """
+    work: List[Tuple[int, ...]] = sorted(
+        {c for c in clauses if not any(-l in c for l in c)},
+        key=lambda c: (len(c), c),
+    )
+    sets: List[frozenset] = [frozenset(c) for c in work]
+    alive = [True] * len(work)
+    occ: Dict[int, Set[int]] = {}
+    for idx, clause in enumerate(work):
+        for lit in clause:
+            occ.setdefault(lit, set()).add(idx)
+
+    queue = deque(range(len(work)))
+    queued = [True] * len(work)
     subsumed = 0
     strengthened = 0
-    for i in range(len(ordered)):
-        if removed[i]:
+
+    def kill(idx: int) -> None:
+        alive[idx] = False
+        for lit in work[idx]:
+            occ.get(lit, set()).discard(idx)
+
+    while queue:
+        i = queue.popleft()
+        queued[i] = False
+        if not alive[i]:
             continue
-        for j in range(i + 1, len(ordered)):
-            if removed[j] or len(ordered[j]) < len(ordered[i]):
+        clause = work[i]
+        this = sets[i]
+        if not clause:
+            continue  # empty clause: reported to the caller via `kept`
+        # Forward subsumption: kill strict supersets of `clause`.
+        pivot = min(clause, key=lambda l: len(occ.get(l, ())))
+        for j in list(occ.get(pivot, ())):
+            if j == i or not alive[j] or len(sets[j]) < len(this):
                 continue
-            if sigs[i] & ~sigs[j]:
-                continue
-            if sets[i] <= sets[j]:
-                removed[j] = True
+            if this <= sets[j]:
+                kill(j)
                 subsumed += 1
-                continue
-            # Self-subsuming resolution: C = A|x, D = B|~x with A <= B
-            # lets D drop ~x.
-            diff = sets[i] - sets[j]
-            if len(diff) == 1:
-                lit = next(iter(diff))
-                if -lit in sets[j] and (sets[i] - {lit}) <= sets[j]:
-                    new_clause = tuple(l for l in ordered[j] if l != -lit)
-                    ordered[j] = new_clause
-                    sets[j] = frozenset(new_clause)
-                    sigs[j] = _signature(new_clause)
+        # Self-subsuming resolution: C = A|x strengthens D = B|~x with
+        # A <= B by dropping ~x from D.
+        for lit in clause:
+            rest = this - {lit}
+            for j in list(occ.get(-lit, ())):
+                if j == i or not alive[j] or len(sets[j]) < len(this):
+                    continue
+                if rest <= sets[j]:
+                    occ[-lit].discard(j)
+                    shrunk = tuple(l for l in work[j] if l != -lit)
+                    work[j] = shrunk
+                    sets[j] = frozenset(shrunk)
                     strengthened += 1
-    kept = [c for c, gone in zip(ordered, removed) if not gone]
+                    if not queued[j]:
+                        queue.append(j)
+                        queued[j] = True
+    kept = [c for c, keep in zip(work, alive) if keep]
     return kept, subsumed, strengthened
 
 
-def preprocess(formula: Formula, max_rounds: int = 10) -> PreprocessResult:
+_subsume = subsume_clauses  # internal alias kept for older call sites
+
+
+def _eliminate_variables(
+    clauses: List[Tuple[int, ...]],
+    stack: List[Tuple[int, List[Tuple[int, ...]]]],
+    occ_limit: int = 12,
+) -> Tuple[Optional[List[Tuple[int, ...]]], int]:
+    """Bounded variable elimination (NiVER): resolve out a variable when
+    the non-tautological resolvents do not outnumber the clauses removed.
+
+    Only variables with at most ``occ_limit`` total occurrences are
+    tried — the O(1) gate keeps the pass linear-ish on large formulas,
+    and high-occurrence variables almost never eliminate without growth
+    anyway.  Eliminated variables and their clauses are pushed on
+    ``stack`` for model reconstruction.  Returns
+    ``(clauses, #eliminated)``, or ``(None, #eliminated)`` when an
+    empty resolvent proves UNSAT.
+    """
+    store: Dict[int, Tuple[int, ...]] = dict(enumerate(clauses))
+    occ: Dict[int, Set[int]] = {}
+    for idx, clause in store.items():
+        for lit in clause:
+            occ.setdefault(lit, set()).add(idx)
+    next_id = len(store)
+    eliminated = 0
+
+    def cost(var: int) -> int:
+        return len(occ.get(var, ())) * len(occ.get(-var, ()))
+
+    candidates = sorted(
+        {var_of(l) for c in store.values() for l in c}, key=lambda v: (cost(v), v)
+    )
+    for var in candidates:
+        if len(occ.get(var, ())) + len(occ.get(-var, ())) > occ_limit:
+            continue
+        pos = sorted(occ.get(var, ()))
+        neg = sorted(occ.get(-var, ()))
+        if not pos or not neg:
+            continue  # pure or absent: pure-literal elimination's job
+        budget = len(pos) + len(neg)
+        # Input clauses are tautology-free, so a resolvent is
+        # tautological iff a literal of the positive side clashes with
+        # one of the negative side — a single C-level set intersection.
+        pos_sets = [frozenset(store[p]) - {var} for p in pos]
+        neg_sets = [frozenset(store[n]) - {-var} for n in neg]
+        neg_complements = [frozenset(-l for l in s) for s in neg_sets]
+        resolvents: Set[frozenset] = set()
+        too_big = False
+        for pset in pos_sets:
+            for nset, ncomp in zip(neg_sets, neg_complements):
+                if pset & ncomp:
+                    continue  # tautological resolvent
+                resolvents.add(pset | nset)
+                if len(resolvents) > budget:
+                    too_big = True
+                    break
+            if too_big:
+                break
+        if too_big:
+            continue
+        removed = [store[idx] for idx in pos + neg]
+        if frozenset() in resolvents:
+            stack.append((var, removed))
+            return None, eliminated + 1
+        for idx in pos + neg:
+            for lit in store[idx]:
+                occ.get(lit, set()).discard(idx)
+            del store[idx]
+        ordered = sorted(
+            tuple(sorted(r, key=lambda l: (var_of(l), l < 0))) for r in resolvents
+        )
+        for resolvent in ordered:
+            store[next_id] = resolvent
+            for lit in resolvent:
+                occ.setdefault(lit, set()).add(next_id)
+            next_id += 1
+        stack.append((var, removed))
+        eliminated += 1
+    return [store[idx] for idx in sorted(store)], eliminated
+
+
+def preprocess(
+    formula: Formula,
+    max_rounds: int = 10,
+    eliminate: bool = True,
+    elimination_occ_limit: int = 12,
+) -> PreprocessResult:
     """Simplify a CNF-only formula; PB constraints are rejected.
 
     Returns an equisatisfiable formula plus the forced assignment, or
-    ``formula=None`` when the input is UNSAT.
+    ``formula=None`` when the input is UNSAT.  Models of the reduced
+    formula are lifted to models of the input with
+    :meth:`PreprocessResult.extend_model`.  ``eliminate=False`` turns
+    bounded variable elimination off (useful when callers want the
+    reduced formula to use only implied clauses of the input).
     """
     if formula.pb_constraints:
         raise ValueError("preprocess handles CNF-only formulas")
-    result = PreprocessResult(formula=None)
-    clauses: List[Tuple[int, ...]] = [c.literals for c in formula.clauses]
+    result = PreprocessResult(formula=None, num_vars=formula.num_vars)
+    clauses, tautologies, duplicates = _canonical_intake(
+        [c.literals for c in formula.clauses]
+    )
+    result.tautologies_removed = tautologies
+    result.duplicates_removed = duplicates
     forced: Dict[int, bool] = {}
     for _ in range(max_rounds):
-        before = (len(clauses), len(forced))
         clauses_or_none, units = _propagate_units(clauses, forced)
         result.units_propagated += units
         if clauses_or_none is None:
@@ -164,16 +373,97 @@ def preprocess(formula: Formula, max_rounds: int = 10) -> PreprocessResult:
         clauses = clauses_or_none
         clauses, pure = _eliminate_pure(clauses, forced)
         result.pure_eliminated += pure
-        clauses, subsumed, strengthened = _subsume(clauses)
+        clauses, subsumed, strengthened = subsume_clauses(clauses)
         result.subsumed += subsumed
         result.strengthened += strengthened
-        if (len(clauses), len(forced)) == before and not (units or pure or subsumed or strengthened):
+        if any(not c for c in clauses):
+            return result  # strengthening emptied a clause: UNSAT
+        removed = 0
+        if eliminate:
+            clauses_or_none, removed = _eliminate_variables(
+                clauses, result.eliminated, occ_limit=elimination_occ_limit
+            )
+            result.variables_eliminated += removed
+            if clauses_or_none is None:
+                return result  # empty resolvent: UNSAT
+            clauses = clauses_or_none
+        if not (units or pure or subsumed or strengthened or removed):
             break
     out = Formula(num_vars=formula.num_vars)
     for clause in clauses:
-        if not clause:  # strengthening can in principle empty a clause
-            return result
         out.add_clause(clause)
     result.formula = out
     result.forced = forced
     return result
+
+
+@dataclass
+class SimplifyStats:
+    """What :func:`simplify_formula` did to the clause database."""
+
+    clauses_before: int = 0
+    clauses_after: int = 0
+    tautologies_removed: int = 0
+    duplicates_removed: int = 0
+    units_propagated: int = 0
+    subsumed: int = 0
+    strengthened: int = 0
+
+    def merge(self, other: "SimplifyStats") -> None:
+        """Accumulate another run's counters (clause totals included)."""
+        self.clauses_before += other.clauses_before
+        self.clauses_after += other.clauses_after
+        self.tautologies_removed += other.tautologies_removed
+        self.duplicates_removed += other.duplicates_removed
+        self.units_propagated += other.units_propagated
+        self.subsumed += other.subsumed
+        self.strengthened += other.strengthened
+
+
+def simplify_formula(
+    formula: Formula, max_rounds: int = 10
+) -> Tuple[Optional[Formula], SimplifyStats]:
+    """Model-preserving clause simplification for mixed CNF+PB formulas.
+
+    Runs the subset of the preprocessing rules that keeps the formula
+    *logically equivalent* over the original variables — tautology and
+    duplicate removal, unit propagation (the derived units stay in the
+    output as unit clauses so every solver still sees them), clause
+    subsumption and self-subsuming resolution.  Pure-literal and
+    variable elimination are deliberately excluded: variables shared
+    with PB constraints or the objective cannot be discarded.
+
+    PB constraints, the objective and ``num_vars`` are carried over
+    untouched.  Returns ``(formula, stats)``; the formula is ``None``
+    when the clause database is UNSAT by itself.
+    """
+    stats = SimplifyStats(clauses_before=len(formula.clauses))
+    clauses, tautologies, duplicates = _canonical_intake(
+        [c.literals for c in formula.clauses]
+    )
+    stats.tautologies_removed = tautologies
+    stats.duplicates_removed = duplicates
+    forced: Dict[int, bool] = {}
+    for _ in range(max_rounds):
+        clauses_or_none, units = _propagate_units(clauses, forced)
+        stats.units_propagated += units
+        if clauses_or_none is None:
+            return None, stats
+        clauses = clauses_or_none
+        clauses, subsumed, strengthened = subsume_clauses(clauses)
+        stats.subsumed += subsumed
+        stats.strengthened += strengthened
+        if any(not c for c in clauses):
+            return None, stats
+        if not (units or subsumed or strengthened):
+            break
+    out = Formula(num_vars=formula.num_vars)
+    for var in sorted(forced):
+        out.add_clause([var if forced[var] else -var])
+    for clause in clauses:
+        out.add_clause(clause)
+    out.pb_constraints = list(formula.pb_constraints)
+    out.objective = formula.objective
+    out.objective_sense = formula.objective_sense
+    stats.clauses_after = len(out.clauses)
+    return out, stats

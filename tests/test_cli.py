@@ -45,6 +45,24 @@ def test_color_with_instance_dependent(capsys, col_file):
     assert "vertex 1:" in out
 
 
+def test_color_pipeline_flags(capsys, col_file):
+    code = repro_main(["color", col_file, "--time-limit", "60"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "kernel:" in out
+    assert "preprocessing:" in out
+    assert "colors used:      4" in out
+
+    code = repro_main([
+        "color", col_file, "--no-preprocess", "--no-reduce", "--time-limit", "60",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "kernel:" not in out
+    assert "preprocessing:" not in out
+    assert "colors used:      4" in out
+
+
 def test_color_unsat_budget(capsys, col_file):
     code = repro_main(["color", col_file, "--k", "3", "--time-limit", "60"])
     out = capsys.readouterr().out

@@ -15,6 +15,22 @@ def test_new_var_and_growth():
     assert f.num_vars == 10  # grows to cover mentioned variables
 
 
+def test_add_clause_skip_tautology():
+    f = Formula(num_vars=2)
+    kept = f.add_clause([1, 2], skip_tautology=True)
+    assert kept is not None
+    skipped = f.add_clause([1, -1, 2], skip_tautology=True)
+    assert skipped is None
+    assert len(f.clauses) == 1
+    # A skipped tautology must not inflate the variable range either.
+    assert f.add_clause([5, -5], skip_tautology=True) is None
+    assert f.num_vars == 2
+    # Without the flag, tautologies stay legal input (they are SAT).
+    taut = f.add_clause([1, -1])
+    assert taut is not None and taut.is_tautology
+    assert len(f.clauses) == 2
+
+
 def test_add_clause_canonical():
     f = Formula(num_vars=3)
     clause = f.add_clause([3, 1, 3])

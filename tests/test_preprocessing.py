@@ -6,7 +6,11 @@ from hypothesis import strategies as st
 
 from repro.core.formula import Formula
 from repro.sat.brute import brute_force_solve
-from repro.sat.preprocessing import preprocess
+from repro.sat.preprocessing import (
+    preprocess,
+    simplify_formula,
+    subsume_clauses,
+)
 
 
 def test_unit_propagation_chain():
@@ -59,6 +63,71 @@ def test_self_subsuming_resolution():
     assert result.strengthened >= 1
 
 
+def test_tautology_is_not_a_subsumer():
+    # Regression: the old pairwise loop "strengthened" (2|~4) to (~4)
+    # by resolving against the tautology (2|~2) — resolving on a
+    # tautology yields the other clause back, never a strengthening.
+    # This exact formula is SAT but used to preprocess to UNSAT.
+    f = Formula(num_vars=4)
+    f.add_clause([-1])
+    f.add_clause([2, -2])
+    f.add_clause([2, -4])
+    f.add_clause([2, 4])
+    assert brute_force_solve(f).status == "SAT"
+    result = preprocess(f)
+    assert not result.is_unsat
+    assert result.tautologies_removed == 1
+    model = result.extend_model({})
+    assert f.evaluate(model)
+
+
+def test_tautologies_dropped_at_subsumption_level():
+    # Direct engine call: a tautology neither subsumes nor strengthens —
+    # it is simply dropped ((2|~2) must not turn (2|~4) into (~4)).
+    kept, subsumed, strengthened = subsume_clauses([(2, -2), (2, -4)])
+    assert kept == [(2, -4)]
+    assert subsumed == 0 and strengthened == 0
+
+
+def test_strengthened_clauses_are_requeued():
+    # Regression: the old loop sorted clauses by length once; a clause
+    # strengthened mid-pass could shrink below the current pivot length
+    # and its new subsumption/strengthening opportunities were skipped.
+    # (1|2) strengthens (-1|2) to (2); the re-queued unit (2) must then
+    # subsume (2|3) and (2|4|5) in the same call.
+    kept, subsumed, strengthened = subsume_clauses(
+        [(1, 2), (-1, 2), (2, 3), (2, 4, 5)]
+    )
+    assert strengthened >= 1
+    # The unit (2) then subsumes everything else, including the clause
+    # it was strengthened from.
+    assert kept == [(2,)]
+    assert subsumed == 3
+
+
+def test_preprocess_reaches_unit_fixpoint_after_strengthening():
+    f = Formula(num_vars=5)
+    f.add_clause([1, 2])
+    f.add_clause([-1, 2])
+    f.add_clause([2, 3])
+    f.add_clause([2, 4, 5])
+    result = preprocess(f)
+    assert not result.is_unsat
+    assert result.forced[2] is True
+    assert result.formula.clauses == []
+
+
+def test_variable_elimination_round_trip():
+    # x2 is resolved away; the model must still assign it correctly.
+    f = Formula(num_vars=3)
+    f.add_clause([1, 2])
+    f.add_clause([-2, 3])
+    result = preprocess(f)
+    assert not result.is_unsat
+    model = result.extend_model({})
+    assert f.evaluate(model)
+
+
 def test_rejects_pb():
     f = Formula(num_vars=2)
     f.add_pb([(1, 1), (1, 2)], ">=", 1)
@@ -66,18 +135,23 @@ def test_rejects_pb():
         preprocess(f)
 
 
-@settings(max_examples=80, deadline=None)
-@given(st.data())
-def test_preprocessing_preserves_satisfiability(data):
-    n = data.draw(st.integers(min_value=1, max_value=6))
+def _random_cnf(data, max_vars=6, max_clauses=12, max_width=3):
+    n = data.draw(st.integers(min_value=1, max_value=max_vars))
     f = Formula(num_vars=n)
-    for _ in range(data.draw(st.integers(min_value=1, max_value=12))):
-        width = data.draw(st.integers(min_value=1, max_value=3))
+    for _ in range(data.draw(st.integers(min_value=1, max_value=max_clauses))):
+        width = data.draw(st.integers(min_value=1, max_value=max_width))
         f.add_clause([
             data.draw(st.integers(min_value=1, max_value=n))
             * data.draw(st.sampled_from([1, -1]))
             for _ in range(width)
         ])
+    return f
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_preprocessing_preserves_satisfiability(data):
+    f = _random_cnf(data)
     before = brute_force_solve(f).status
     result = preprocess(f)
     if result.is_unsat:
@@ -89,3 +163,66 @@ def test_preprocessing_preserves_satisfiability(data):
         reduced.add_clause([var if value else -var])
     after = brute_force_solve(reduced).status
     assert after == before
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_preprocessing_model_round_trip(data):
+    # Stronger than equisatisfiability: a model of the reduced formula,
+    # run through extend_model, must satisfy the *original* formula —
+    # including variables removed by pure-literal and variable
+    # elimination.
+    f = _random_cnf(data)
+    before = brute_force_solve(f).status
+    result = preprocess(f)
+    if result.is_unsat:
+        assert before == "UNSAT"
+        return
+    assert before == "SAT"
+    sub = brute_force_solve(result.formula)
+    assert sub.status == "SAT"
+    model = result.extend_model(sub.model)
+    assert set(model) == set(range(1, f.num_vars + 1))
+    assert f.evaluate(model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_simplify_formula_is_model_preserving(data):
+    # simplify_formula must keep mixed CNF+PB formulas logically
+    # equivalent: same status, and every model of the simplified
+    # formula satisfies the original directly (no reconstruction).
+    f = _random_cnf(data, max_vars=5, max_clauses=10)
+    if data.draw(st.booleans()):
+        lits = [
+            v * data.draw(st.sampled_from([1, -1]))
+            for v in range(1, f.num_vars + 1)
+        ]
+        f.add_pb([(1, l) for l in lits], ">=",
+                 data.draw(st.integers(min_value=0, max_value=f.num_vars)))
+    before = brute_force_solve(f)
+    out, stats = simplify_formula(f)
+    if out is None:
+        assert before.status == "UNSAT"
+        return
+    assert out.num_vars == f.num_vars
+    assert len(out.pb_constraints) == len(f.pb_constraints)
+    after = brute_force_solve(out)
+    assert after.status == before.status
+    if after.status == "SAT":
+        assert f.evaluate(after.model)
+
+
+def test_simplify_formula_keeps_objective():
+    f = Formula(num_vars=3)
+    f.add_clause([1])
+    f.add_clause([-1, 2])
+    f.add_clause([2, 3])
+    f.set_objective([(1, 2), (1, 3)])
+    out, stats = simplify_formula(f)
+    assert out is not None
+    assert out.objective == f.objective
+    assert stats.units_propagated >= 2
+    # Units derived by propagation stay visible as unit clauses.
+    unit_lits = {c.literals[0] for c in out.clauses if c.is_unit}
+    assert {1, 2} <= unit_lits
