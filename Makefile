@@ -1,12 +1,15 @@
 # Developer entry points. The tier-1 verification command is `make test`
 # (the same line CI / ROADMAP.md specify); `make bench-smoke` runs the
 # microbenchmarks once each without timing rounds as a fast regression
-# signal; `make bench` runs them for real.
+# signal — including one incremental K-search descent end-to-end, which
+# fails if the pipeline silently falls back to per-K scratch solving;
+# `make bench` runs the benchmarks for real; `make bench-json`
+# regenerates every machine-readable BENCH_<name>.json perf record.
 
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke bench
+.PHONY: test bench-smoke bench bench-json
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -17,3 +20,6 @@ bench-smoke:
 
 bench:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q --benchmark-only benchmarks/bench_*.py
+
+bench-json:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q --benchmark-disable benchmarks/bench_*.py

@@ -82,15 +82,21 @@ def subsume_quadratic(clauses):
     return kept, subsumed, strengthened
 
 
-def test_subsumption_indexed_10k(benchmark):
+def test_subsumption_indexed_10k(benchmark, bench_json):
     clauses = random_clauses(10000, 2000)
     kept, subsumed, strengthened = benchmark.pedantic(
         subsume_clauses, args=(clauses,), rounds=3, iterations=1
     )
     assert len(kept) <= len(clauses)
+    # One standalone timed run: pedantic round counts differ between
+    # --benchmark-only and --benchmark-disable modes.
+    _, seconds = bench_json.timed(subsume_clauses, clauses)
+    bench_json.add("subsumption-indexed-10k", subsumed=subsumed,
+                   strengthened=strengthened,
+                   wall_seconds=round(seconds, 4))
 
 
-def test_indexed_beats_quadratic_10k(request):
+def test_indexed_beats_quadratic_10k(request, bench_json):
     # The head-to-head the occurrence-list index exists for: on >= 10k
     # clauses the pairwise loop does ~50M pair visits; the index walks
     # only shared-literal occurrence lists.  The quadratic baseline
@@ -112,12 +118,15 @@ def test_indexed_beats_quadratic_10k(request):
         f"(sub={sub_quad}, str={str_quad})  "
         f"speedup {quadratic_seconds / max(indexed_seconds, 1e-9):.1f}x"
     )
+    bench_json.add("subsumption-head-to-head",
+                   indexed_seconds=round(indexed_seconds, 4),
+                   quadratic_seconds=round(quadratic_seconds, 4))
     # Both reach a fully-subsumption-reduced set of comparable size.
     assert abs(len(kept_idx) - len(kept_quad)) <= str_idx + str_quad
     assert indexed_seconds < quadratic_seconds
 
 
-def test_preprocess_coloring_encoding(benchmark):
+def test_preprocess_coloring_encoding(benchmark, bench_json):
     # A real CNF from the pipeline: book-graph 5-coloring (~10k clauses
     # once SBP units are included).
     graph = book_graph(250, 900, seed=7)
@@ -130,9 +139,14 @@ def test_preprocess_coloring_encoding(benchmark):
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert not result.is_unsat
     assert result.units_propagated >= 1
+    _, seconds = bench_json.timed(run)
+    bench_json.add("preprocess-book-encoding",
+                   units=result.units_propagated,
+                   subsumed=result.subsumed,
+                   wall_seconds=round(seconds, 4))
 
 
-def test_pipeline_speedup_sparse_families(benchmark):
+def test_pipeline_speedup_sparse_families(benchmark, bench_json):
     # End-to-end: kernelization + simplification vs the raw path on the
     # paper's sparse families.  Answers must match; the pipeline should
     # not be slower (on books/register it peels the whole graph).
@@ -160,3 +174,7 @@ def test_pipeline_speedup_sparse_families(benchmark):
     assert piped == raw
     print(f"\n  sparse families: raw path {raw_seconds:.3f}s "
           f"(chromatic numbers {raw}); pipeline benchmarked above")
+    _, piped_seconds = bench_json.timed(run_pipeline)
+    bench_json.add("sparse-families-pipeline", chromatic_numbers=piped,
+                   raw_seconds=round(raw_seconds, 4),
+                   pipeline_seconds=round(piped_seconds, 4))

@@ -17,19 +17,30 @@ SPARSE = [("huck", 11), ("jean", 10), ("miles250", 8)]
 
 
 @pytest.mark.parametrize("name,k", SPARSE)
-def test_peeling_shrinks_sparse_instances(benchmark, name, k):
+def test_peeling_shrinks_sparse_instances(benchmark, name, k, bench_json):
     graph = get_instance(name).graph()
     kernel = benchmark(lambda: peel_low_degree(graph, k))
     assert kernel.graph.num_vertices < graph.num_vertices
     print(f"\n  {name}: {graph.num_vertices} -> {kernel.graph.num_vertices} "
           f"vertices at K={k}")
+    _, seconds = bench_json.timed(peel_low_degree, graph, k)
+    bench_json.add(name, k=k, vertices=graph.num_vertices,
+                   kernel_vertices=kernel.graph.num_vertices,
+                   wall_seconds=round(seconds, 6))
 
 
 @pytest.mark.parametrize("name,k", [("huck", 11), ("jean", 10)])
-def test_reduced_solve(benchmark, name, k):
+def test_reduced_solve(benchmark, name, k, bench_json):
     graph = get_instance(name).graph()
     result = benchmark(
         lambda: solve_with_reduction(graph, k, lambda g, kk: sat_k_colorable(g, kk, time_limit=30))
     )
     assert result.status == "SAT"
     assert graph.is_proper_coloring(result.coloring)
+    # One standalone timed run (benchmark() may loop calibration rounds).
+    _, seconds = bench_json.timed(
+        solve_with_reduction, graph, k,
+        lambda g, kk: sat_k_colorable(g, kk, time_limit=30))
+    bench_json.add(f"{name}-solve", k=k, status=result.status,
+                   components_solved=result.components_solved,
+                   wall_seconds=round(seconds, 4))

@@ -22,40 +22,63 @@ CASES = [("myciel3", 4), ("myciel4", 5), ("queen5_5", 5)]
 
 
 @pytest.mark.parametrize("name,chi", CASES)
-def test_coudert(benchmark, name, chi):
+def test_coudert(benchmark, name, chi, bench_json):
     graph = get_instance(name).graph()
     result = benchmark(lambda: coudert_chromatic_number(graph, time_limit=30))
     assert result.chromatic_number == chi
+    # Time one standalone run: benchmark() may loop many calibration
+    # rounds, which would make wall_seconds incomparable across modes.
+    _, seconds = bench_json.timed(coudert_chromatic_number, graph, time_limit=30)
+    bench_json.add(f"{name}-coudert", chromatic_number=chi,
+                   wall_seconds=round(seconds, 4))
 
 
 @pytest.mark.parametrize("name,chi", CASES)
-def test_necsp(benchmark, name, chi):
+def test_necsp(benchmark, name, chi, bench_json):
     graph = get_instance(name).graph()
     result = benchmark(lambda: necsp_chromatic_number(graph, time_limit=30))
     assert result.chromatic_number == chi
+    _, seconds = bench_json.timed(necsp_chromatic_number, graph, time_limit=30)
+    bench_json.add(f"{name}-necsp", chromatic_number=chi,
+                   wall_seconds=round(seconds, 4))
 
 
 @pytest.mark.parametrize("name,chi", [("myciel3", 4), ("queen5_5", 5)])
-def test_mehrotra_trick(benchmark, name, chi):
+def test_mehrotra_trick(benchmark, name, chi, bench_json):
     graph = get_instance(name).graph()
     result = benchmark(lambda: mt_chromatic_number(graph, time_limit=60))
     assert result.chromatic_number == chi
+    _, seconds = bench_json.timed(mt_chromatic_number, graph, time_limit=60)
+    bench_json.add(f"{name}-mehrotra-trick", chromatic_number=chi,
+                   wall_seconds=round(seconds, 4))
 
 
 @pytest.mark.parametrize("name,chi", CASES)
-def test_repeated_sat(benchmark, name, chi):
+def test_repeated_sat(benchmark, name, chi, bench_json):
     graph = get_instance(name).graph()
     result = benchmark(
         lambda: chromatic_number_sat(graph, sbp_kind="nu", time_limit=60)
     )
     assert result.chromatic_number == chi
+    timed, seconds = bench_json.timed(
+        chromatic_number_sat, graph, sbp_kind="nu", time_limit=60)
+    bench_json.add(f"{name}-repeated-sat", chromatic_number=chi,
+                   k_queries=[list(q) for q in timed.k_queries],
+                   conflicts=timed.stats.conflicts,
+                   propagations=timed.stats.propagations,
+                   wall_seconds=round(seconds, 4))
 
 
 @pytest.mark.parametrize("name,chi", CASES)
-def test_ilp_pipeline(benchmark, name, chi):
+def test_ilp_pipeline(benchmark, name, chi, bench_json):
     graph = get_instance(name).graph()
     result = benchmark(
         lambda: solve_coloring(graph, chi + 2, solver="pbs2",
                                sbp_kind="nu+sc", time_limit=60)
     )
     assert result.num_colors == chi
+    _, seconds = bench_json.timed(
+        solve_coloring, graph, chi + 2, solver="pbs2",
+        sbp_kind="nu+sc", time_limit=60)
+    bench_json.add(f"{name}-ilp-pipeline", chromatic_number=chi,
+                   wall_seconds=round(seconds, 4))

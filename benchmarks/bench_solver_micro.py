@@ -2,14 +2,20 @@
 
 These track the performance of the pieces everything else is built on:
 unit propagation throughput, pigeonhole refutation, PB propagation,
-encoding construction and symmetry detection.
+encoding construction and symmetry detection — plus the head-to-head
+the incremental K-search subsystem exists for: the chromatic-number
+descent on one persistent solver against the historical fresh-solver-
+per-query loop, on multi-K queens/mycielski descents.  Results land in
+``BENCH_solver_micro.json``.
 """
 
 from repro.coloring.encoding import encode_coloring
+from repro.coloring.sat_pipeline import chromatic_number_sat
 from repro.core.formula import Formula
-from repro.graphs.generators import queens_graph
+from repro.experiments.runner import run_descent
+from repro.graphs.generators import mycielski_graph, queens_graph
 from repro.pb.engine import PBSolver
-from repro.sat.cdcl import solve_formula
+from repro.sat.cdcl import CDCLSolver, solve_formula
 from repro.symmetry.detect import detect_symmetries
 
 
@@ -25,41 +31,67 @@ def _pigeonhole(pigeons, holes):
     return f
 
 
-def test_cdcl_pigeonhole(benchmark):
+def test_cdcl_pigeonhole(benchmark, bench_json):
     f = _pigeonhole(7, 6)
     result = benchmark(lambda: solve_formula(f))
     assert result.is_unsat
+    bench_json.add(
+        "pigeonhole-7-6", conflicts=result.stats.conflicts,
+        propagations=result.stats.propagations,
+        wall_seconds=result.stats.time_seconds,
+    )
 
 
-def test_cdcl_implication_chain(benchmark):
+def test_cdcl_implication_chain(benchmark, bench_json):
     f = Formula(num_vars=2000)
     for i in range(1, 2000):
         f.add_clause([-i, i + 1])
     f.add_clause([1])
-    result = benchmark(lambda: solve_formula(f))
+
+    def load_and_solve():
+        # The chain propagates fully while the unit is loaded, so report
+        # the solver's global counters, not the per-call solve() deltas.
+        solver = CDCLSolver(num_vars=f.num_vars)
+        assert solver.add_formula(f)
+        result = solver.solve()
+        return result, solver
+
+    (result, solver) = benchmark(load_and_solve)
     assert result.is_sat
+    bench_json.add(
+        "implication-chain-2000", conflicts=solver.stats.conflicts,
+        propagations=solver.stats.propagations,
+        wall_seconds=result.stats.time_seconds,
+    )
 
 
-def test_pb_cardinality_propagation(benchmark):
+def test_pb_cardinality_propagation(benchmark, bench_json):
     def build_and_solve():
         f = Formula(num_vars=300)
         f.add_at_least(list(range(1, 301)), 299)
         f.add_clause([-7])
         solver = PBSolver()
         solver.add_formula(f)
-        return solver.solve()
+        return solver.solve(), solver
 
-    result = benchmark(build_and_solve)
+    (result, solver) = benchmark(build_and_solve)
     assert result.is_sat
+    bench_json.add(
+        "pb-cardinality-300", conflicts=solver.stats.conflicts,
+        propagations=solver.stats.propagations,
+        wall_seconds=result.stats.time_seconds,
+    )
 
 
-def test_encoding_construction(benchmark):
+def test_encoding_construction(benchmark, bench_json):
     graph = queens_graph(8, 8)
     encoding = benchmark(lambda: encode_coloring(graph, 10))
     assert encoding.formula.num_vars == 64 * 10 + 10
+    _, seconds = bench_json.timed(encode_coloring, graph, 10)
+    bench_json.add("encode-queens8-k10", wall_seconds=seconds)
 
 
-def test_symmetry_detection_queen5(benchmark):
+def test_symmetry_detection_queen5(benchmark, bench_json):
     formula = encode_coloring(queens_graph(5, 5), 6).formula
 
     def detect():
@@ -67,3 +99,85 @@ def test_symmetry_detection_queen5(benchmark):
 
     report = benchmark(detect)
     assert report.num_generators > 0
+    bench_json.add(
+        "detect-queen5-k6", generators=report.num_generators,
+        wall_seconds=report.detection_seconds,
+    )
+
+
+# The multi-K descents the incremental subsystem targets: an all-SAT
+# queens staircase (DSATUR overshoots, the clique bound stops the
+# descent without an UNSAT proof) and a mycielski bisection whose
+# probes are UNSAT-heavy (exercises failed-assumption cores).
+DESCENT_SUITE = (
+    ("queens7_7", lambda: queens_graph(7, 7), "linear", 7),
+    ("myciel4", lambda: mycielski_graph(4), "binary", 5),
+)
+
+
+def test_incremental_vs_scratch_descent(bench_json):
+    """The head-to-head behind the PR: one persistent solver vs scratch.
+
+    Asserts the incremental descent shows >= 2x fewer total conflicts
+    or >= 1.5x wall-clock speedup over the suite, and that both modes
+    agree on every chromatic number.
+    """
+    totals = {True: [0, 0.0], False: [0, 0.0]}  # mode -> [conflicts, secs]
+    for name, build, strategy, chi in DESCENT_SUITE:
+        graph = build()
+        for incremental in (True, False):
+            record = run_descent(
+                name, graph, strategy=strategy,
+                incremental=incremental, time_limit=120,
+            )
+            assert record.status == "OPTIMAL", (name, incremental)
+            assert record.chromatic_number == chi, (name, incremental)
+            assert record.sat_calls >= 2, (name, incremental)
+            totals[incremental][0] += record.conflicts
+            totals[incremental][1] += record.seconds
+            fields = record.as_json()
+            fields.pop("instance")
+            bench_json.add(f"descent-{name}", **fields)
+    conflict_ratio = totals[False][0] / max(1, totals[True][0])
+    wall_speedup = totals[False][1] / max(1e-9, totals[True][1])
+    bench_json.add(
+        "descent-aggregate",
+        scratch_conflicts=totals[False][0],
+        incremental_conflicts=totals[True][0],
+        conflict_ratio=round(conflict_ratio, 3),
+        scratch_seconds=round(totals[False][1], 4),
+        incremental_seconds=round(totals[True][1], 4),
+        wall_speedup=round(wall_speedup, 3),
+    )
+    print(f"\n  incremental K-search: {conflict_ratio:.2f}x fewer conflicts, "
+          f"{wall_speedup:.2f}x wall-clock speedup over scratch")
+    assert conflict_ratio >= 2.0 or wall_speedup >= 1.5, (
+        f"incremental descent lost its edge: {conflict_ratio:.2f}x conflicts, "
+        f"{wall_speedup:.2f}x wall-clock"
+    )
+
+
+def test_incremental_descent_stays_incremental(bench_json):
+    """Smoke guard: the default descent must not fall back to scratch.
+
+    A silent regression to per-K scratch solving would keep answers
+    correct while quietly discarding the persistent-solver speedup, so
+    ``make bench-smoke`` fails if the default pipeline ever reports
+    more than one solver instantiation for a multi-query descent.
+    """
+    result = chromatic_number_sat(
+        mycielski_graph(4), strategy="binary", time_limit=120
+    )
+    assert result.status == "OPTIMAL" and result.chromatic_number == 5
+    assert result.sat_calls >= 2
+    assert result.incremental, "default descent must run incrementally"
+    assert result.solvers_created == 1, (
+        f"incremental descent created {result.solvers_created} solvers; "
+        "it has silently fallen back to per-K scratch solving"
+    )
+    bench_json.add(
+        "smoke-incremental-guard", sat_calls=result.sat_calls,
+        solvers_created=result.solvers_created,
+        conflicts=result.stats.conflicts,
+        k_queries=[list(q) for q in result.k_queries],
+    )

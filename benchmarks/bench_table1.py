@@ -5,10 +5,15 @@ from conftest import run_once
 from repro.experiments.tables import render_table1, table1
 
 
-def test_table1(benchmark, bench_scale):
-    rows = run_once(benchmark, table1, bench_scale, per_instance_budget=5.0)
+def test_table1(benchmark, bench_scale, bench_json):
+    (rows, seconds) = bench_json.timed(
+        run_once, benchmark, table1, bench_scale, per_instance_budget=5.0
+    )
     print()
     print(render_table1(rows, bench_scale.k_primary))
+    for r in rows:
+        bench_json.add(r.name, chromatic_number=r.measured_chi)
+    bench_json.add("table1-total", wall_seconds=seconds)
     by_name = {r.name: r for r in rows}
     # Exact families must reproduce the published chromatic numbers.
     assert by_name["myciel3"].measured_chi == 4

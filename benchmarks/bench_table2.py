@@ -5,10 +5,16 @@ from conftest import run_once
 from repro.experiments.tables import render_table2, table2
 
 
-def test_table2(benchmark, bench_scale):
-    rows = run_once(benchmark, table2, bench_scale)
+def test_table2(benchmark, bench_scale, bench_json):
+    (rows, seconds) = bench_json.timed(run_once, benchmark, table2, bench_scale)
     print()
     print(render_table2(rows))
+    for r in rows:
+        bench_json.add(
+            f"sbp-{r.sbp_kind}", generators=r.num_generators,
+            symmetry_order=r.order, wall_seconds=r.detection_seconds,
+        )
+    bench_json.add("table2-total", wall_seconds=seconds)
     by_kind = {r.sbp_kind: r for r in rows}
     # Paper trends: NU/CA shrink the group, LI leaves only the identity,
     # SC barely changes it, detection is fastest once symmetry is gone.

@@ -5,10 +5,17 @@ from conftest import run_once
 from repro.experiments.tables import render_solver_table, table4
 
 
-def test_table4(benchmark, bench_scale):
-    table = run_once(benchmark, table4, bench_scale)
+def test_table4(benchmark, bench_scale, bench_json):
+    (table, seconds) = bench_json.timed(run_once, benchmark, table4, bench_scale)
     print()
     print(render_solver_table(table, bench_scale.solvers))
+    for (sbp, solver, inst_dep), cell in sorted(table.cells.items()):
+        bench_json.add(
+            f"{solver}-{sbp}{'-sbps' if inst_dep else ''}",
+            k=table.k, num_solved=cell.num_solved,
+            wall_seconds=round(cell.total_seconds, 4),
+        )
+    bench_json.add("table4-total", wall_seconds=seconds)
     # The larger K produces larger formulas; totals should not shrink
     # dramatically relative to Table 3 (the paper reports fewer solved).
     assert table.k == bench_scale.k_secondary

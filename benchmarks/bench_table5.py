@@ -12,10 +12,17 @@ QUEENS_SCALE = ScalePreset(
 )
 
 
-def test_table5(benchmark):
-    records = run_once(benchmark, table5, QUEENS_SCALE)
+def test_table5(benchmark, bench_json):
+    (records, seconds) = bench_json.timed(run_once, benchmark, table5, QUEENS_SCALE)
     print()
     print(render_table5(records, QUEENS_SCALE.time_limit))
+    for r in records:
+        bench_json.add(
+            f"{r.instance}-{r.solver}-{r.sbp_kind}"
+            f"{'-sbps' if r.instance_dependent else ''}",
+            k=r.k, status=r.status, wall_seconds=round(r.seconds, 4),
+        )
+    bench_json.add("table5-total", wall_seconds=seconds)
     # queen5_5 at K=7 is easy with symmetry breaking: at least the
     # NU+SC and instance-dependent configurations must solve it.
     solved = {(r.sbp_kind, r.instance_dependent) for r in records if r.solved}

@@ -4,16 +4,24 @@ Usage::
 
     python -m repro color graph.col [--solver pbs2] [--sbp nu+sc]
         [--instance-dependent] [--k 20] [--time-limit 60]
-        [--no-preprocess] [--no-reduce]
+        [--no-preprocess] [--no-reduce] [--no-incremental]
+    python -m repro chromatic graph.col [--strategy linear|binary]
+        [--no-incremental] [--sbp nu] [--time-limit 60]
     python -m repro stats graph.col
     python -m repro detect graph.col --k 8
 
 ``color`` runs the paper's full pipeline on a file — kernelization
 (low-degree peeling + component split) before encoding and CNF
 simplification after encoding are on by default, disable them with
-``--no-reduce`` / ``--no-preprocess``; ``stats`` prints graph
-statistics and heuristic bounds; ``detect`` reports the symmetry
-statistics of the encoded instance (a one-instance Table 2 row).
+``--no-reduce`` / ``--no-preprocess``; binary-search solver profiles
+run all probes on one persistent incremental solver unless
+``--no-incremental`` is given.  ``chromatic`` runs the pure-CNF
+repeated-SAT K-search (the paper's Section 4.1 descent); by default the
+whole descent shares one persistent solver with per-color activation
+literals — ``--no-incremental`` restores one fresh SAT instance per K
+query.  ``stats`` prints graph statistics and heuristic bounds;
+``detect`` reports the symmetry statistics of the encoded instance (a
+one-instance Table 2 row).
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import argparse
 import sys
 
 from .coloring.encoding import encode_coloring
+from .coloring.sat_pipeline import chromatic_number_sat
 from .coloring.solve import SOLVER_NAMES, solve_coloring
 from .graphs.cliques import clique_lower_bound
 from .graphs.coloring_heuristics import dsatur
@@ -63,6 +72,7 @@ def cmd_color(args) -> int:
         time_limit=args.time_limit,
         preprocess=args.preprocess,
         reduce=args.reduce,
+        incremental=args.incremental,
     )
     print(f"status:           {result.status}")
     if result.num_colors is not None:
@@ -87,6 +97,35 @@ def cmd_color(args) -> int:
     if result.status == "UNSAT":
         print(f"(not colorable with K={k}; raise --k)")
     return 0 if result.solved else 1
+
+
+def cmd_chromatic(args) -> int:
+    graph = _load(args.graph)
+    result = chromatic_number_sat(
+        graph,
+        strategy=args.strategy,
+        time_limit=args.time_limit,
+        amo_encoding=args.amo,
+        sbp_kind=args.sbp,
+        preprocess=args.preprocess,
+        reduce=args.reduce,
+        incremental=args.incremental,
+    )
+    print(f"status:           {result.status}")
+    print(f"chromatic number: {result.chromatic_number}"
+          + ("" if result.status == "OPTIMAL" else " (upper bound; not proved)"))
+    mode = "incremental (1 persistent solver)" if result.incremental else \
+        f"scratch ({result.solvers_created} fresh solvers)"
+    print(f"search:           {args.strategy}, {mode}")
+    trace = ", ".join(f"K={k}:{status}" for k, status in result.k_queries) or "(bounds met)"
+    print(f"K queries:        {result.sat_calls}  [{trace}]")
+    print(f"conflicts:        {result.stats.conflicts}")
+    print(f"propagations:     {result.stats.propagations}")
+    print(f"time:             {result.time_seconds:.2f}s")
+    if result.coloring and args.show_coloring:
+        for v in sorted(result.coloring):
+            print(f"  vertex {v + 1}: color {result.coloring[v]}")
+    return 0 if result.status == "OPTIMAL" else 1
 
 
 def cmd_detect(args) -> int:
@@ -132,7 +171,42 @@ def main(argv=None) -> int:
         "--reduce", default=True, action=argparse.BooleanOptionalAction,
         help="kernelize the graph before encoding "
              "(low-degree peeling + connected-component split)")
+    p_color.add_argument(
+        "--incremental", default=True, action=argparse.BooleanOptionalAction,
+        help="run binary-search bound probes on one persistent solver "
+             "with selector-guarded bound constraints")
     p_color.set_defaults(func=cmd_color)
+
+    p_chrom = sub.add_parser(
+        "chromatic",
+        help="chromatic number via the repeated-SAT K-search (pure CNF)")
+    p_chrom.add_argument("graph", help="DIMACS .col file")
+    p_chrom.add_argument("--strategy", default="linear",
+                         choices=("linear", "binary"),
+                         help="descend linearly from the DSATUR bound or "
+                              "bisect between the clique and DSATUR bounds")
+    p_chrom.add_argument("--sbp", default="none",
+                         choices=("none", "nu", "sc", "nu+sc"),
+                         help="CNF-expressible symmetry-breaking predicates")
+    p_chrom.add_argument("--amo", default="pairwise",
+                         choices=("pairwise", "sequential"),
+                         help="at-most-one encoding of the exactly-one rows")
+    p_chrom.add_argument("--time-limit", type=float, default=300.0)
+    p_chrom.add_argument("--show-coloring", action="store_true")
+    p_chrom.add_argument(
+        "--preprocess", default=True, action=argparse.BooleanOptionalAction,
+        help="simplify the CNF before solving (model-preserving subset "
+             "on the incremental path, full preprocessor on the scratch path)")
+    p_chrom.add_argument(
+        "--reduce", default=True, action=argparse.BooleanOptionalAction,
+        help="kernelize before encoding (once at the clique bound on the "
+             "incremental path, per query on the scratch path)")
+    p_chrom.add_argument(
+        "--incremental", default=True, action=argparse.BooleanOptionalAction,
+        help="drive the whole K descent through one persistent solver via "
+             "per-color activation literals (default); --no-incremental "
+             "re-encodes and re-solves from scratch at every K")
+    p_chrom.set_defaults(func=cmd_chromatic)
 
     p_detect = sub.add_parser("detect", help="symmetry statistics of the encoding")
     p_detect.add_argument("graph", help="DIMACS .col file")

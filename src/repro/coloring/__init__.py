@@ -29,10 +29,13 @@ from .reduce import (
     peel_low_degree,
     solve_with_reduction,
 )
+from .encoding import add_color_activation_literals
 from .sat_pipeline import (
+    IncrementalKSearch,
     SatPipelineResult,
     chromatic_number_sat,
     encode_k_coloring_cnf,
+    encode_k_coloring_incremental,
     sat_k_colorable,
 )
 from .solve import (
@@ -50,6 +53,7 @@ __all__ = [
     "ColoringSolveResult",
     "CoudertResult",
     "ExactColoringResult",
+    "IncrementalKSearch",
     "Kernel",
     "MTResult",
     "PipelineInfo",
@@ -73,10 +77,12 @@ __all__ = [
     "necsp_chromatic_number",
     "sat_k_colorable",
     "solve_necsp",
+    "add_color_activation_literals",
     "check_proper",
     "color_class_sizes",
     "decode_coloring",
     "encode_coloring",
+    "encode_k_coloring_incremental",
     "exact_chromatic_number",
     "find_chromatic_number",
     "is_proper",

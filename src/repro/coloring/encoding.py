@@ -96,6 +96,36 @@ def encode_coloring(
     return encoding
 
 
+def add_color_activation_literals(
+    formula: Formula,
+    x_var: Dict[tuple, int],
+    num_vertices: int,
+    num_colors: int,
+) -> Dict[int, int]:
+    """Add per-color activation (selector) literals for incremental K-search.
+
+    For each color ``c`` a fresh variable ``a_c`` is introduced together
+    with the guard clauses ``(~x[v][c] | a_c)`` for every vertex, so the
+    single assumption ``-a_c`` switches off color ``c`` across the whole
+    encoding: every clause group that mentions color ``c`` — the
+    per-vertex exactly-one group, the per-edge conflict group, and the
+    NU/SC symmetry-breaking groups — is neutralized through the forced
+    ``~x[v][c]`` literals.  Encoding once at the upper bound and
+    assuming ``[-a_{k+1}, ..., -a_ub]`` turns the whole chromatic-number
+    descent into queries on one persistent solver.
+
+    Returns ``{color: activation_var}``.
+    """
+    activators: Dict[int, int] = {}
+    for c in range(1, num_colors + 1):
+        activators[c] = formula.new_var(("act", c))
+    for c in range(1, num_colors + 1):
+        a_c = activators[c]
+        for v in range(num_vertices):
+            formula.add_clause([-x_var[(v, c)], a_c])
+    return activators
+
+
 def decode_coloring(
     encoding: ColoringEncoding, model: Dict[int, bool]
 ) -> Dict[int, int]:

@@ -14,17 +14,30 @@ route so that claim can be measured:
   folded back into the model before decoding) and optional graph
   kernelization (peeling + component split via
   :func:`repro.coloring.reduce.solve_with_reduction`);
+* :class:`IncrementalKSearch` — the **incremental** engine for the
+  paper's Section 4.1 bound-tightening procedure: the graph is encoded
+  *once* at the upper bound with per-color activation literals
+  (:func:`repro.coloring.encoding.add_color_activation_literals`), and
+  every K query becomes ``solve(assumptions=[-a_{k+1}, ..., -a_ub])``
+  on one persistent :class:`~repro.sat.cdcl.CDCLSolver`, so learned
+  clauses, saved phases and VSIDS activity carry over between queries.
+  UNSAT answers return an unsat core over colors (failed assumptions),
+  which the binary strategy uses to skip dead K values;
 * :func:`chromatic_number_sat` — chromatic number by descending linear
-  or binary search over K, one fresh SAT instance per query (the
-  paper's Section 4.1 bound-tightening procedure), with both
-  simplification stages on by default.
+  or binary search over K.  ``incremental=True`` (the default) drives
+  the whole descent through one persistent solver; ``incremental=False``
+  restores the historical one-fresh-SAT-instance-per-query behaviour
+  for comparison.  Both simplification stages are on by default (the
+  incremental path kernelizes once at the clique bound and runs the
+  model-preserving clause simplification, which cannot eliminate the
+  activation variables the assumptions refer to).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..core.cnf_encodings import encode_exactly_one_pairwise, encode_at_most_k_sequential
 from ..core.formula import Formula
@@ -33,9 +46,12 @@ from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
 from ..sat.cdcl import CDCLSolver
 from ..sat.preprocessing import preprocess as preprocess_cnf
-from ..sat.result import SAT, UNKNOWN, UNSAT
+from ..sat.preprocessing import simplify_formula
+from ..sat.result import SAT, UNKNOWN, UNSAT, SolverStats
+from ..sat.vsids import VSIDS
 from ..sbp.instance_independent import SBP_KINDS
-from .reduce import solve_with_reduction
+from .encoding import add_color_activation_literals
+from .reduce import extend_coloring, peel_low_degree, solve_with_reduction
 
 
 def encode_k_coloring_cnf(
@@ -95,6 +111,183 @@ def encode_k_coloring_cnf(
     return formula, x
 
 
+def encode_k_coloring_incremental(
+    graph: Graph,
+    max_k: int,
+    amo_encoding: str = "pairwise",
+    sbp_kind: str = "none",
+) -> Tuple[Formula, Dict[Tuple[int, int], int], Dict[int, int]]:
+    """K-coloring encoding at ``max_k`` plus per-color activation literals.
+
+    Returns ``(formula, x_vars, activators)``.  Assuming
+    ``-activators[c]`` for every ``c > k`` restricts the encoding to a
+    K-coloring instance, so one formula serves the whole descent.
+    """
+    formula, x = encode_k_coloring_cnf(graph, max_k, amo_encoding, sbp_kind)
+    activators = add_color_activation_literals(
+        formula, x, graph.num_vertices, max_k
+    )
+    return formula, x, activators
+
+
+class IncrementalKSearch:
+    """One persistent CDCL solver answering K-colorability for any K <= ub.
+
+    The encoding is built once at ``max_k`` colors; each
+    :meth:`solve_k` call assumes the activation literals of colors
+    ``k+1..max_k`` negatively.  Between calls the solver keeps its
+    learned clauses, saved phases and VSIDS activity, which is where the
+    speedup of the incremental descent comes from: a refutation learned
+    while answering one K query prunes the next one too.
+
+    ``simplify=True`` runs the *model-preserving* clause simplification
+    on the encoding before loading it (tautology/duplicate removal,
+    units kept as unit clauses, subsumption, strengthening).  The full
+    equisatisfiable preprocessor is deliberately not used here: pure
+    literal elimination or bounded variable elimination could remove the
+    activation variables the per-call assumptions refer to.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        max_k: int,
+        amo_encoding: str = "pairwise",
+        sbp_kind: str = "none",
+        simplify: bool = True,
+    ):
+        self.graph = graph
+        self.max_k = max_k
+        formula, x, activators = encode_k_coloring_incremental(
+            graph, max_k, amo_encoding, sbp_kind
+        )
+        self.x = x
+        self.activators = activators
+        self.root_unsat = False
+        if simplify:
+            simplified, _ = simplify_formula(formula)
+            if simplified is None:
+                self.root_unsat = True
+            else:
+                formula = simplified
+        self.solver = CDCLSolver(num_vars=formula.num_vars)
+        if not self.root_unsat and not self.solver.add_formula(formula):
+            self.root_unsat = True
+        self.stats = SolverStats()
+        self._last_coloring: Optional[Dict[int, int]] = None
+        # Colors above this bound have been switched off *permanently*
+        # (level-0 unit clauses) by monotone-descent queries.
+        self._active_ub = max_k
+
+    def assumptions_for(self, k: int) -> List[int]:
+        """The assumption literals that switch off colors above ``k``."""
+        return [-self.activators[c] for c in range(k + 1, self.max_k + 1)]
+
+    def _prepare_heuristics(self, k: int, carry: bool) -> None:
+        """Re-seed the decision heuristics for the next K query.
+
+        Learned clauses always persist — they are the expensive state —
+        but the *decision* state is re-seeded per query by default
+        (``carry=False``): saved phases of the coloring variables go
+        back to False (default-phase decisions then walk the
+        at-least-one clauses like a greedy coloring, which measurably
+        beats repairing the previous, now-infeasible solution on SAT
+        chains) and VSIDS is restarted.  With ``carry=True`` only the
+        phases that point at newly disabled colors are neutralized, so a
+        vertex whose color survives keeps steering toward the old
+        solution.
+
+        In both modes the activators of still-active colors are biased
+        True: deciding one False would voluntarily disable a live color
+        (the guard clauses force every ``x[v][c]`` false) and send the
+        search into needless conflicts.
+        """
+        saved_phase = self.solver.saved_phase
+        for c in range(1, k + 1):
+            saved_phase[self.activators[c]] = True
+        if not carry:
+            for var in self.x.values():
+                saved_phase[var] = False
+            self.solver.vsids = VSIDS(self.solver.num_vars)
+            return
+        if not self._last_coloring:
+            return
+        for v, color in self._last_coloring.items():
+            if color > k:
+                for c in range(1, self.max_k + 1):
+                    saved_phase[self.x[(v, c)]] = False
+
+    def solve_k(
+        self,
+        k: int,
+        time_limit: Optional[float] = None,
+        permanent: bool = False,
+        carry_heuristics: bool = False,
+    ) -> Tuple[str, Optional[Dict[int, int]], List[int]]:
+        """Decide K-colorability on the persistent solver.
+
+        Returns ``(status, coloring, failed_colors)``.  ``coloring`` is
+        present on SAT; ``failed_colors`` on UNSAT is the sorted set of
+        colors in the final-conflict core — the formula is already
+        unsatisfiable with just those colors disabled, so every ``k' <
+        min(failed_colors)`` is dead too (the unsat core over colors the
+        binary descent uses to skip queries).
+
+        ``permanent=True`` disables colors ``k+1..`` with level-0 unit
+        clauses instead of per-call assumptions.  That is only sound for
+        *monotone* descents (the linear strategy: K never goes back up),
+        but it is measurably cheaper: literals forced at level 0 are
+        dropped from every learnt clause, whereas assumption-level
+        literals ride along in each one.  Binary probes must keep
+        ``permanent=False`` so refutations stay retractable and return
+        assumption cores.
+        """
+        if k >= self.max_k:
+            raise ValueError(f"k={k} not below the encoded bound {self.max_k}")
+        if k > self._active_ub:
+            # Colors above _active_ub were disabled with level-0 units by
+            # an earlier permanent query; no assumption can re-enable
+            # them, so answering such a query would silently report the
+            # wrong (smaller) color budget as UNSAT.
+            raise ValueError(
+                f"k={k} exceeds the permanently disabled bound "
+                f"{self._active_ub}: permanent queries are monotone"
+            )
+        if self.root_unsat:
+            return UNSAT, None, []
+        self._prepare_heuristics(k, carry_heuristics)
+        if permanent:
+            for c in range(k + 1, self._active_ub + 1):
+                if not self.solver.add_clause([-self.activators[c]]):
+                    self.root_unsat = True
+            self._active_ub = k
+            if self.root_unsat:
+                return UNSAT, None, []
+            assumptions: List[int] = []
+        else:
+            assumptions = self.assumptions_for(k)
+        result = self.solver.solve(assumptions=assumptions, time_limit=time_limit)
+        self.stats.merge(result.stats)
+        if result.is_sat:
+            coloring: Dict[int, int] = {}
+            model = result.model
+            for v in range(self.graph.num_vertices):
+                for c in range(1, k + 1):
+                    if model[self.x[(v, c)]]:
+                        coloring[v] = c
+                        break
+            self._last_coloring = coloring
+            return SAT, coloring, []
+        if result.is_unsat:
+            failed = sorted(
+                c
+                for c, a in self.activators.items()
+                if -a in (result.failed_assumptions or ())
+            )
+            return UNSAT, None, failed
+        return UNKNOWN, None, []
+
+
 def sat_k_colorable(
     graph: Graph,
     k: int,
@@ -103,6 +296,7 @@ def sat_k_colorable(
     sbp_kind: str = "none",
     preprocess: bool = True,
     reduce: bool = False,
+    stats: Optional[SolverStats] = None,
 ) -> Tuple[str, Optional[Dict[int, int]]]:
     """Decide K-colorability with the CNF CDCL solver.
 
@@ -111,7 +305,8 @@ def sat_k_colorable(
     preprocessor on the encoding and reconstructs the model afterwards
     (``decode`` always sees a total assignment); ``reduce`` peels
     vertices of degree < K and splits components before encoding, which
-    is exact for the decision problem.
+    is exact for the decision problem.  ``stats``, when given, has the
+    solver statistics of every internal solve merged into it.
     """
     if k <= 0:
         return (UNSAT if graph.num_vertices else SAT), ({} if not graph.num_vertices else None)
@@ -127,6 +322,7 @@ def sat_k_colorable(
             return sat_k_colorable(
                 sub, kk, time_limit=remaining, amo_encoding=amo_encoding,
                 sbp_kind=sbp_kind, preprocess=preprocess, reduce=False,
+                stats=stats,
             )
 
         reduced = solve_with_reduction(graph, k, decide)
@@ -141,6 +337,8 @@ def sat_k_colorable(
             if not solver.add_formula(pre.formula):
                 return UNSAT, None
             result = solver.solve(time_limit=time_limit)
+            if stats is not None:
+                stats.merge(result.stats)
             if not result.is_sat:
                 return result.status, None
             model = pre.extend_model(result.model)
@@ -151,6 +349,8 @@ def sat_k_colorable(
         if not solver.add_formula(formula):
             return UNSAT, None
         result = solver.solve(time_limit=time_limit)
+        if stats is not None:
+            stats.merge(result.stats)
         if not result.is_sat:
             return result.status, None
         model = result.model
@@ -172,6 +372,15 @@ class SatPipelineResult:
     coloring: Optional[Dict[int, int]]
     sat_calls: int
     time_seconds: float
+    # Aggregated solver statistics over every K query of the search.
+    stats: SolverStats = field(default_factory=SolverStats)
+    # The (k, status) trace of the descent, in query order.
+    k_queries: List[Tuple[int, str]] = field(default_factory=list)
+    # How many fresh solvers the search instantiated: 1 for a true
+    # incremental descent, one per query for the scratch strategy.  The
+    # bench-smoke guard asserts on this to catch silent fallbacks.
+    solvers_created: int = 0
+    incremental: bool = False
 
 
 def chromatic_number_sat(
@@ -182,14 +391,25 @@ def chromatic_number_sat(
     sbp_kind: str = "none",
     preprocess: bool = True,
     reduce: bool = True,
+    incremental: bool = True,
 ) -> SatPipelineResult:
     """Chromatic number via repeated CNF-SAT decision calls.
 
     ``strategy`` is ``"linear"`` (tighten from the DSATUR bound, the
     paper's suggestion for small bounds) or ``"binary"`` (bisect between
-    the clique bound and DSATUR, its suggestion otherwise).  Each
-    decision call runs the simplification pipeline (kernelization +
-    CNF preprocessing) unless disabled.
+    the clique bound and DSATUR, its suggestion otherwise).
+
+    With ``incremental=True`` (default) the whole descent runs on one
+    persistent solver via :class:`IncrementalKSearch`: the graph is
+    kernelized once at the clique bound (``reduce``), encoded once at
+    the DSATUR bound with activation literals, simplified once
+    (``preprocess``, model-preserving subset), and every K query reuses
+    the learned clauses of the previous ones.  The binary strategy
+    additionally uses the failed-assumption core of UNSAT answers to
+    skip K values the core already proves dead.  With
+    ``incremental=False`` each query pays for a fresh encoding,
+    preprocessing and solver (the historical behaviour, kept for
+    measurement).
     """
     if strategy not in ("linear", "binary"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -197,10 +417,18 @@ def chromatic_number_sat(
     n = graph.num_vertices
     if n == 0:
         return SatPipelineResult("OPTIMAL", 0, {}, 0, 0.0)
+    if incremental:
+        return _chromatic_number_incremental(
+            graph, strategy, start, time_limit=time_limit,
+            amo_encoding=amo_encoding, sbp_kind=sbp_kind,
+            preprocess=preprocess, reduce=reduce,
+        )
     heuristic_coloring, ub = dsatur(graph)
     best = {v: c + 1 for v, c in heuristic_coloring.items()}
     lb = max(1, clique_lower_bound(graph))
     calls = 0
+    run_stats = SolverStats()
+    k_queries: List[Tuple[int, str]] = []
 
     def remaining() -> Optional[float]:
         if time_limit is None:
@@ -208,7 +436,11 @@ def chromatic_number_sat(
         return time_limit - (time.monotonic() - start)
 
     def finish(status: str, k: int) -> SatPipelineResult:
-        return SatPipelineResult(status, k, best, calls, time.monotonic() - start)
+        return SatPipelineResult(
+            status, k, best, calls, time.monotonic() - start,
+            stats=run_stats, k_queries=k_queries, solvers_created=calls,
+            incremental=False,
+        )
 
     if strategy == "linear":
         k = ub - 1
@@ -220,8 +452,9 @@ def chromatic_number_sat(
             status, coloring = sat_k_colorable(
                 graph, k, time_limit=budget,
                 amo_encoding=amo_encoding, sbp_kind=sbp_kind,
-                preprocess=preprocess, reduce=reduce,
+                preprocess=preprocess, reduce=reduce, stats=run_stats,
             )
+            k_queries.append((k, status))
             if status == UNKNOWN:
                 return finish(SAT, k + 1)
             if status == UNSAT:
@@ -240,8 +473,9 @@ def chromatic_number_sat(
         status, coloring = sat_k_colorable(
             graph, mid, time_limit=budget,
             amo_encoding=amo_encoding, sbp_kind=sbp_kind,
-            preprocess=preprocess, reduce=reduce,
+            preprocess=preprocess, reduce=reduce, stats=run_stats,
         )
+        k_queries.append((mid, status))
         if status == UNKNOWN:
             return finish(SAT, hi)
         if status == UNSAT:
@@ -250,3 +484,121 @@ def chromatic_number_sat(
             best = coloring
             hi = min(len(set(coloring.values())), mid)
     return finish("OPTIMAL", hi)
+
+
+def _chromatic_number_incremental(
+    graph: Graph,
+    strategy: str,
+    start: float,
+    time_limit: Optional[float],
+    amo_encoding: str,
+    sbp_kind: str,
+    preprocess: bool,
+    reduce: bool,
+) -> SatPipelineResult:
+    """The persistent-solver descent behind ``chromatic_number_sat``.
+
+    With ``reduce`` the graph is kernelized *once* at the clique lower
+    bound ``lb`` (peeling at ``lb`` preserves ``chi(G) = max(chi(kernel),
+    lb)``), the descent runs on the kernel down to ``lb``, and the best
+    coloring is lifted back.  Component splitting is intentionally not
+    applied here — one solver serves the whole kernel so its learned
+    clauses span components; see the ROADMAP's "Incremental search"
+    notes for the per-component variant.
+    """
+    lb = max(1, clique_lower_bound(graph))
+    kernel = None
+    work = graph
+    if reduce:
+        kernel = peel_low_degree(graph, lb)
+        work = kernel.graph
+
+    def lift(kernel_coloring: Dict[int, int]) -> Dict[int, int]:
+        if kernel is None:
+            return kernel_coloring
+        return extend_coloring(kernel, kernel_coloring)
+
+    calls = 0
+    run_stats = SolverStats()
+    k_queries: List[Tuple[int, str]] = []
+
+    if work.num_vertices == 0:
+        coloring = lift({})
+        chi = len(set(coloring.values())) if coloring else 0
+        return SatPipelineResult(
+            "OPTIMAL", chi, coloring, 0, time.monotonic() - start,
+            stats=run_stats, k_queries=k_queries, solvers_created=0,
+            incremental=True,
+        )
+
+    heuristic_coloring, ub = dsatur(work)
+    best_kernel = {v: c + 1 for v, c in heuristic_coloring.items()}
+    if ub <= lb:
+        coloring = lift(best_kernel)
+        return SatPipelineResult(
+            "OPTIMAL", max(ub, lb) if kernel is None else lb,
+            coloring, 0, time.monotonic() - start,
+            stats=run_stats, k_queries=k_queries, solvers_created=0,
+            incremental=True,
+        )
+
+    search = IncrementalKSearch(
+        work, ub, amo_encoding=amo_encoding, sbp_kind=sbp_kind,
+        simplify=preprocess,
+    )
+
+    def remaining() -> Optional[float]:
+        if time_limit is None:
+            return None
+        return time_limit - (time.monotonic() - start)
+
+    def finish(status: str, chi: int, kernel_coloring: Dict[int, int]) -> SatPipelineResult:
+        run_stats.merge(search.stats)
+        return SatPipelineResult(
+            status, chi, lift(kernel_coloring), calls,
+            time.monotonic() - start, stats=run_stats, k_queries=k_queries,
+            solvers_created=1, incremental=True,
+        )
+
+    if strategy == "linear":
+        k = ub - 1
+        while k >= lb:
+            budget = remaining()
+            if budget is not None and budget <= 0:
+                return finish(SAT, k + 1, best_kernel)
+            calls += 1
+            # The linear strategy is monotone, so colors are switched
+            # off permanently (level-0 units): same persistent solver,
+            # but learnt clauses stay free of assumption literals.
+            status, coloring, _ = search.solve_k(
+                k, time_limit=budget, permanent=True
+            )
+            k_queries.append((k, status))
+            if status == UNKNOWN:
+                return finish(SAT, k + 1, best_kernel)
+            if status == UNSAT:
+                return finish("OPTIMAL", k + 1, best_kernel)
+            best_kernel = coloring
+            k = len(set(coloring.values())) - 1
+        return finish("OPTIMAL", lb, best_kernel)
+
+    lo, hi = lb, ub
+    while lo < hi:
+        mid = (lo + hi) // 2
+        budget = remaining()
+        if budget is not None and budget <= 0:
+            return finish(SAT, hi, best_kernel)
+        calls += 1
+        status, coloring, failed_colors = search.solve_k(mid, time_limit=budget)
+        k_queries.append((mid, status))
+        if status == UNKNOWN:
+            return finish(SAT, hi, best_kernel)
+        if status == UNSAT:
+            # The core over colors proves UNSAT for every k whose
+            # disabled-color set covers it, i.e. all k < min(core):
+            # chi(kernel) >= min(core), which can exceed mid + 1.
+            lo = max(mid + 1, min(failed_colors) if failed_colors else 0)
+        else:
+            best_kernel = coloring
+            hi = min(len(set(coloring.values())), mid)
+    return finish("OPTIMAL", hi, best_kernel)

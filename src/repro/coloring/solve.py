@@ -8,15 +8,19 @@ the simplification stages that make the paper's sparse instances
    lower bound plus connected-component splitting (``reduce=True``);
 2. encode K-coloring as 0-1 ILP (Section 2.5);
 3. optionally append instance-independent SBPs (NU/CA/LI/SC, Section 3);
-4. optionally run symmetry detection on the resulting formula and
-   append instance-dependent lex-leader SBPs (the Shatter flow);
-5. optionally simplify the clause database (tautology/duplicate
-   removal, unit propagation, subsumption, self-subsuming resolution —
+4. optionally simplify the clause database (tautology/duplicate
+   removal, unit propagation, subsumption, self-subsuming resolution,
+   forced-literal substitution into PB constraints —
    ``preprocess=True``, model-preserving, so decoded colorings need no
    fix-up);
+5. optionally run symmetry detection — on the *simplified* formula,
+   which is smaller and cheaper to canonicalize — and append
+   instance-dependent lex-leader SBPs (the Shatter flow);
 6. minimize the number of used colors with a chosen solver profile
    (PBS II / Galena / Pueblo presets, or the generic LP-based branch
-   and bound standing in for CPLEX).
+   and bound standing in for CPLEX).  The binary-search profiles run
+   all probes on one persistent incremental solver with
+   selector-guarded bound constraints (``incremental=True``).
 
 ``find_chromatic_number`` wraps it with sensible defaults — both
 simplification stages on — and DSATUR / clique bounds, following the
@@ -103,22 +107,52 @@ def prepare_formula(
     results across solver runs on the same deterministic encoding — the
     encoding depends only on the graph and parameters, so the cache is
     exact, not approximate.  Unnamed graphs are never cached.
+
+    Note: ``solve_coloring`` no longer uses this helper when
+    ``preprocess=True`` — it simplifies the clause database *first* and
+    detects symmetries on the smaller formula (see
+    :func:`_detect_and_break`).  This function keeps the historical
+    encode-then-detect order for callers that want the raw encoding.
     """
     encoding = encode_coloring(graph, num_colors)
     encoding = apply_sbp(encoding, sbp_kind)
     report: Optional[SymmetryReport] = None
     if instance_dependent:
-        key = (graph.name, num_colors, sbp_kind) if graph.name else None
-        if detection_cache is not None and key is not None and key in detection_cache:
-            report = detection_cache[key]
-        else:
-            report = detect_symmetries(
-                encoding.formula, node_limit=detection_node_limit, compute_order=False
-            )
-            if detection_cache is not None and key is not None:
-                detection_cache[key] = report
-        add_symmetry_breaking_predicates(encoding.formula, report.generators)
+        report = _detect_and_break(
+            encoding.formula,
+            key=(graph.name, num_colors, sbp_kind, False) if graph.name else None,
+            detection_node_limit=detection_node_limit,
+            detection_cache=detection_cache,
+        )
     return encoding, report
+
+
+def _detect_and_break(
+    formula,
+    key,
+    detection_node_limit: Optional[int],
+    detection_cache: Optional[Dict],
+) -> SymmetryReport:
+    """Detect symmetries of ``formula`` and append lex-leader SBPs.
+
+    The detection runs on whatever formula it is handed — in the
+    standard pipeline that is the *simplified* clause database, which is
+    smaller and therefore cheaper to canonicalize than the raw encoding
+    (the ROADMAP's "detect after simplification" note).  Simplification
+    is model-preserving, so symmetries of the simplified formula permute
+    exactly the models of the original encoding and the lex-leader
+    predicates remain sound.
+    """
+    if detection_cache is not None and key is not None and key in detection_cache:
+        report = detection_cache[key]
+    else:
+        report = detect_symmetries(
+            formula, node_limit=detection_node_limit, compute_order=False
+        )
+        if detection_cache is not None and key is not None:
+            detection_cache[key] = report
+    add_symmetry_breaking_predicates(formula, report.generators)
+    return report
 
 
 def solve_coloring(
@@ -134,6 +168,7 @@ def solve_coloring(
     detection_cache: Optional[Dict] = None,
     preprocess: bool = True,
     reduce: bool = False,
+    incremental: bool = True,
 ) -> ColoringSolveResult:
     """Minimize the colors used on ``graph`` within a budget of ``num_colors``.
 
@@ -163,23 +198,23 @@ def solve_coloring(
             detection_node_limit=detection_node_limit,
             detection_cache=detection_cache,
             preprocess=preprocess,
+            incremental=incremental,
         )
     t0 = time.monotonic()
-    encoding, report = prepare_formula(
-        graph,
-        num_colors,
-        sbp_kind=sbp_kind,
-        instance_dependent=instance_dependent,
-        detection_node_limit=detection_node_limit,
-        detection_cache=detection_cache,
-    )
+    encoding = apply_sbp(encode_coloring(graph, num_colors), sbp_kind)
     pipeline = PipelineInfo(
         preprocess=preprocess,
         original_vertices=graph.num_vertices,
         kernel_vertices=graph.num_vertices,
     )
     formula = encoding.formula
+    report: Optional[SymmetryReport] = None
     if preprocess:
+        # Simplify the clause database *before* symmetry detection so
+        # the (expensive) detection canonicalizes the smaller formula.
+        # Simplification is model-preserving, hence detection on the
+        # simplified formula breaks exactly the symmetries of the
+        # original encoding's solution set.
         simplified, stats = simplify_formula(formula)
         pipeline.simplify = stats
         if simplified is None:
@@ -195,6 +230,17 @@ def solve_coloring(
                 pipeline=pipeline,
             )
         formula = simplified
+    if instance_dependent:
+        key = (
+            (graph.name, num_colors, sbp_kind, preprocess)
+            if graph.name else None
+        )
+        report = _detect_and_break(
+            formula,
+            key=key,
+            detection_node_limit=detection_node_limit,
+            detection_cache=detection_cache,
+        )
     encode_seconds = time.monotonic() - t0
 
     upper = None
@@ -218,6 +264,7 @@ def solve_coloring(
             conflict_limit=conflict_limit,
             upper_bound_hint=upper,
             lower_bound=lower,
+            incremental=incremental,
         )
     solve_seconds = time.monotonic() - t1
     return _package(encoding, result, solve_seconds, encode_seconds, report,
@@ -236,6 +283,7 @@ def _solve_reduced(
     detection_node_limit: Optional[int],
     detection_cache: Optional[Dict],
     preprocess: bool,
+    incremental: bool = True,
 ) -> ColoringSolveResult:
     """Kernelize, solve the kernel components, lift the coloring back.
 
@@ -294,6 +342,7 @@ def _solve_reduced(
             detection_cache=detection_cache,
             preprocess=preprocess,
             reduce=False,
+            incremental=incremental,
         )
         encode_seconds += result.encode_seconds
         solve_seconds += result.solve_seconds
@@ -375,6 +424,7 @@ def find_chromatic_number(
     max_colors: Optional[int] = None,
     preprocess: bool = True,
     reduce: bool = True,
+    incremental: bool = True,
 ) -> ColoringSolveResult:
     """Convenience: pick K from DSATUR, then minimize exactly.
 
@@ -399,4 +449,5 @@ def find_chromatic_number(
         time_limit=time_limit,
         preprocess=preprocess,
         reduce=reduce,
+        incremental=incremental,
     )

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..coloring.sat_pipeline import SatPipelineResult, chromatic_number_sat
 from ..coloring.solve import ColoringSolveResult, solve_coloring
 from .instances import Instance, ScalePreset
 
@@ -55,6 +56,72 @@ class CellResult:
             self.num_solved += 1
 
 
+@dataclass
+class DescentRecord:
+    """One chromatic-number descent (the repeated-SAT K-search).
+
+    The machine-readable shape the benchmark JSON emitter consumes:
+    which K values were queried, how the solver(s) behaved, and whether
+    the descent ran on one persistent solver or from scratch per query.
+    """
+
+    instance: str
+    strategy: str
+    incremental: bool
+    status: str
+    chromatic_number: Optional[int]
+    sat_calls: int
+    k_queries: List[Tuple[int, str]]
+    conflicts: int
+    propagations: int
+    solvers_created: int
+    seconds: float
+
+    def as_json(self) -> Dict:
+        """Plain-dict form for the benchmark JSON reports."""
+        return {
+            "instance": self.instance,
+            "strategy": self.strategy,
+            "incremental": self.incremental,
+            "status": self.status,
+            "chromatic_number": self.chromatic_number,
+            "k_queries": [list(q) for q in self.k_queries],
+            "sat_calls": self.sat_calls,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "solvers_created": self.solvers_created,
+            "wall_seconds": self.seconds,
+        }
+
+
+def run_descent(
+    name: str,
+    graph,
+    strategy: str = "linear",
+    incremental: bool = True,
+    time_limit: Optional[float] = None,
+    **kwargs,
+) -> DescentRecord:
+    """Run one chromatic-number descent and record it for the perf logs."""
+    result: SatPipelineResult = chromatic_number_sat(
+        graph, strategy=strategy, incremental=incremental,
+        time_limit=time_limit, **kwargs,
+    )
+    return DescentRecord(
+        instance=name,
+        strategy=strategy,
+        incremental=incremental,
+        status=result.status,
+        chromatic_number=result.chromatic_number,
+        sat_calls=result.sat_calls,
+        k_queries=list(result.k_queries),
+        conflicts=result.stats.conflicts,
+        propagations=result.stats.propagations,
+        solvers_created=result.solvers_created,
+        seconds=result.time_seconds,
+    )
+
+
 def run_one(
     instance: Instance,
     k: int,
@@ -65,6 +132,7 @@ def run_one(
     detection_node_limit: int,
     preprocess: bool = True,
     reduce: bool = False,
+    incremental: bool = True,
 ) -> RunRecord:
     """Solve one instance under one configuration.
 
@@ -87,6 +155,7 @@ def run_one(
             detection_cache=DETECTION_CACHE,
             preprocess=preprocess,
             reduce=reduce,
+            incremental=incremental,
         )
         status = result.status
         num_colors = result.num_colors
@@ -121,6 +190,7 @@ def run_cell(
     verbose: bool = False,
     preprocess: bool = True,
     reduce: bool = False,
+    incremental: bool = True,
 ) -> CellResult:
     """Aggregate one table cell over the instance set."""
     cell = CellResult(solver=solver, sbp_kind=sbp_kind, instance_dependent=instance_dependent)
@@ -128,7 +198,7 @@ def run_cell(
         record = run_one(
             instance, k, solver, sbp_kind, instance_dependent,
             time_limit, detection_node_limit,
-            preprocess=preprocess, reduce=reduce,
+            preprocess=preprocess, reduce=reduce, incremental=incremental,
         )
         cell.add(record, time_limit)
         if verbose:

@@ -71,7 +71,26 @@ class PBSolver(CDCLSolver):
         if self.trail_lim:
             raise RuntimeError("add_linear_ge is only legal at decision level 0")
         norm_terms, norm_degree = normalize_terms(list(terms), degree)
-        constraint = LinearGE(norm_terms, norm_degree)
+        for _, lit in norm_terms:
+            self._ensure_var(abs(lit))
+        # Substitute root-level forced literals directly into the
+        # constraint: a true literal moves its coefficient onto the
+        # degree, a false literal contributes nothing and is dropped.
+        # The stored constraint is tighter (smaller degree, fewer terms)
+        # and never needs trail-position bookkeeping for old
+        # assignments, because dropped terms have no occurrence entries.
+        fixed_terms = []
+        fixed_degree = norm_degree
+        for coef, lit in norm_terms:
+            value = self.value_of(lit)
+            if value is True:
+                fixed_degree -= coef
+            elif value is None:
+                fixed_terms.append((coef, lit))
+        if fixed_degree > 0:
+            # Re-saturate: coefficients above the degree act like it.
+            fixed_terms = [(min(c, fixed_degree), l) for c, l in fixed_terms]
+        constraint = LinearGE(fixed_terms, fixed_degree)
         if constraint.is_tautology:
             return True
         if constraint.is_unsatisfiable:
@@ -79,13 +98,7 @@ class PBSolver(CDCLSolver):
             return False
         if constraint.is_clause:
             return self.add_clause(constraint.literals())
-        for _, lit in constraint.terms:
-            self._ensure_var(abs(lit))
         data = PBData(constraint.terms, constraint.degree)
-        # Account for literals already assigned (and processed) at level 0.
-        for coef, lit in data.terms:
-            if self.value_of(lit) is False and self.trail_pos[abs(lit)] < self.pb_qhead:
-                data.slack -= coef
         self.pb_constraints.append(data)
         for coef, lit in data.terms:
             self._pb_occ.setdefault(-lit, []).append((data, coef))
@@ -223,5 +236,5 @@ class PBSolver(CDCLSolver):
     def solve(self, assumptions: Sequence[int] = (), **kwargs) -> SolveResult:
         """Decide satisfiability of the loaded clauses + PB constraints."""
         if self._unsat:
-            return SolveResult(UNSAT)
+            return SolveResult(UNSAT, failed_assumptions=[])
         return super().solve(assumptions=assumptions, **kwargs)

@@ -7,18 +7,24 @@ Section 4.1 discussion of how chromatic-number bounds are tightened:
 * **linear** — solve, add ``objective <= value - 1``, repeat until UNSAT
   (the strategy of PBS/Galena: each improving solution permanently
   tightens the bound in one incremental solver).
-* **binary** — bisect on the objective value, one fresh solver per
-  probe (the "repeated SAT calls" strategy; upper-half refutations
-  cannot be retracted from an incremental solver, hence fresh solvers).
+* **binary** — bisect on the objective value.  By default this also
+  runs on **one persistent solver**: each probe's bound constraint is
+  guarded by a fresh selector literal (``objective <= mid`` holds only
+  while the selector is assumed true), so upper-half refutations *are*
+  retractable — releasing the selector vacuously satisfies the guarded
+  constraint — while learned clauses carry over between probes.
+  ``incremental=False`` restores the historical one-fresh-solver-per-
+  probe behaviour for measurement.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.formula import Formula
 from ..core.literals import var_of
+from ..core.pbconstraint import normalize_terms
 from ..sat.result import OPTIMAL, OptimizeResult, SAT, UNKNOWN, UNSAT, SolverStats
 from .engine import PBSolver
 
@@ -50,12 +56,16 @@ def minimize_linear(
     conflict_limit: Optional[int] = None,
     upper_bound_hint: Optional[int] = None,
     lower_bound: int = 0,
+    incremental: bool = True,
 ) -> OptimizeResult:
     """Minimize the objective by descending linear search.
 
     ``upper_bound_hint`` (e.g. from a DSATUR coloring) seeds the bound
     constraint before the first solve; ``lower_bound`` (e.g. a clique
     bound) lets the search stop without a final UNSAT probe.
+    ``incremental`` is accepted for interface symmetry with
+    :func:`minimize_binary`; the linear strategy always runs one
+    persistent solver (bound tightening is monotone).
     """
     if formula.objective is None:
         raise ValueError("formula has no objective")
@@ -103,10 +113,27 @@ def minimize_binary(
     conflict_limit: Optional[int] = None,
     upper_bound_hint: Optional[int] = None,
     lower_bound: int = 0,
+    incremental: bool = True,
 ) -> OptimizeResult:
-    """Minimize the objective by bisection, one fresh solver per probe."""
+    """Minimize the objective by bisection.
+
+    With ``incremental=True`` (default) every probe runs on one
+    persistent solver: the probe's bound constraint ``objective <= mid``
+    is normalized to ``sum(c_i * ~l_i) >= d`` and guarded with a fresh
+    selector ``s`` by adding the term ``(d, ~s)`` — with ``s`` unassumed
+    the guard term alone satisfies the constraint, so a refuted
+    upper-half probe is retracted simply by dropping the assumption
+    while everything learned from it remains sound.  With
+    ``incremental=False`` each probe pays for a fresh solver (the
+    historical behaviour, kept for measurement).
+    """
     if formula.objective is None:
         raise ValueError("formula has no objective")
+    if incremental:
+        return _minimize_binary_incremental(
+            formula, solver_factory, time_limit, conflict_limit,
+            upper_bound_hint, lower_bound,
+        )
     start = time.monotonic()
     stats = SolverStats()
     factory = solver_factory or PBSolver
@@ -146,6 +173,92 @@ def minimize_binary(
         if status == UNKNOWN:
             return OptimizeResult(SAT, best_value, best_model, stats)
         if status == UNSAT:
+            lo = mid + 1
+        else:
+            value = _objective_value(formula, model)
+            if value < best_value:
+                best_value, best_model = value, model
+            hi = min(best_value, mid)
+    return OptimizeResult(OPTIMAL, best_value, best_model, stats)
+
+
+def _minimize_binary_incremental(
+    formula: Formula,
+    solver_factory: Optional[SolverFactory],
+    time_limit: Optional[float],
+    conflict_limit: Optional[int],
+    upper_bound_hint: Optional[int],
+    lower_bound: int,
+) -> OptimizeResult:
+    """Bisection on one persistent solver via selector-guarded bounds."""
+    start = time.monotonic()
+    stats = SolverStats()
+    solver = (solver_factory or PBSolver)()
+    if not _load(solver, formula):
+        return OptimizeResult(UNSAT, stats=stats)
+    # Selector variables live above every formula variable; the solver
+    # grows on demand.
+    next_selector = [max(formula.num_vars, solver.num_vars)]
+
+    def probe(bound: Optional[int]) -> Tuple[str, Optional[Dict[int, bool]]]:
+        assumptions: List[int] = []
+        if bound is not None:
+            terms, degree = _bound_terms(formula, bound)
+            norm_terms, norm_degree = normalize_terms(list(terms), degree)
+            if norm_degree > 0:
+                next_selector[0] += 1
+                selector = next_selector[0]
+                # Bias the selector phase off so the solver never
+                # branches an old probe's bound back on voluntarily.
+                solver._ensure_var(selector)
+                solver.saved_phase[selector] = False
+                guarded = list(norm_terms) + [(norm_degree, -selector)]
+                if not solver.add_linear_ge(guarded, norm_degree):
+                    return UNSAT, None
+                assumptions = [selector]
+        remaining = None
+        if time_limit is not None:
+            remaining = time_limit - (time.monotonic() - start)
+            if remaining <= 0:
+                return UNKNOWN, None
+        result = solver.solve(
+            assumptions=assumptions,
+            time_limit=remaining,
+            conflict_limit=conflict_limit,
+        )
+        stats.merge(result.stats)
+        if result.is_unsat and assumptions and not result.failed_assumptions:
+            # Empty core: the formula is UNSAT regardless of the probe's
+            # bound — report it as such, not as a refuted probe.
+            return UNSAT, False
+        return result.status, result.model
+
+    refuted_hint = None
+    status, model = probe(upper_bound_hint)
+    if status == UNSAT and model is None and upper_bound_hint is not None:
+        # The hint was too tight, but its refutation is a bound: every
+        # objective value <= hint is infeasible.
+        refuted_hint = upper_bound_hint
+        status, model = probe(None)
+    if status == UNSAT or model is False:
+        return OptimizeResult(UNSAT, stats=stats)
+    if status == UNKNOWN:
+        return OptimizeResult(UNKNOWN, stats=stats)
+    best_value = _objective_value(formula, model)
+    best_model = model
+    lo, hi = lower_bound, best_value
+    if refuted_hint is not None:
+        lo = max(lo, refuted_hint + 1)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        status, model = probe(mid)
+        if status == UNKNOWN:
+            return OptimizeResult(SAT, best_value, best_model, stats)
+        if status == UNSAT:
+            if model is False:
+                # Globally UNSAT can only mean the incumbent bound search
+                # is exhausted; the incumbent stands as optimal.
+                return OptimizeResult(OPTIMAL, best_value, best_model, stats)
             lo = mid + 1
         else:
             value = _objective_value(formula, model)

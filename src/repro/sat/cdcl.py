@@ -7,15 +7,36 @@ saving, Luby restarts and activity/LBD-guided learned-clause deletion.
 The PB engine in :mod:`repro.pb.engine` extends the same search loop
 with pseudo-Boolean propagation.
 
-The implementation favours clarity over micro-optimization but is
-careful in the hot paths (watched-literal loop, conflict analysis), so
-instances with tens of thousands of variables/clauses are practical.
+The solver is **incremental** in the assumption-based style pioneered
+by the Chaff/MiniSat lineage: clauses may be added between ``solve``
+calls, each call may pass a list of assumption literals that hold only
+for that call, and learned clauses, saved phases and VSIDS activity all
+carry over from one call to the next.  When a query is UNSAT under
+assumptions, :attr:`SolveResult.failed_assumptions` holds the subset of
+assumptions in the final conflict (the MiniSat ``analyzeFinal`` core),
+which callers such as the chromatic-number descent use to skip dead
+queries.
+
+Hot-path design (measured on the multi-K coloring descents):
+
+* watch lists live in a flat list indexed by literal
+  (``2*var`` / ``2*var + 1``), not a dict — no hashing on the hottest
+  loop in the solver;
+* each watcher is a ``(clause, blocker)`` pair; a true blocker literal
+  satisfies the clause without touching it (MiniSat's cached-literal
+  optimization);
+* clause deletion is lazy: deleted clauses are only marked, watchers
+  drain them as they are visited, and the watch lists are compacted in
+  one sweep when enough dead watchers accumulate;
+* restarts are assumption-aware — they backtrack to the assumption
+  prefix, never below it, so assumption-level propagation is not redone
+  on every restart.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from ..core.formula import Formula
 from .luby import luby_sequence
@@ -23,32 +44,48 @@ from .result import SAT, UNKNOWN, UNSAT, SolveResult, SolverStats
 from .vsids import VSIDS
 
 
+def _widx(lit: int) -> int:
+    """Index of a literal in the flat watch table (2v / 2v+1)."""
+    return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+
 class WClause(list):
     """A solver-internal clause: a literal list plus learning metadata.
 
     Subclassing ``list`` keeps the watched-literal loop on plain indexed
     access while allowing the clause-deletion policy to tag clauses with
-    their LBD (literal block distance) and learnt status.
+    their LBD (literal block distance), learnt status, and the lazy
+    ``deleted`` mark that watch lists drain on their own schedule.
     """
 
-    __slots__ = ("learnt", "lbd")
+    __slots__ = ("learnt", "lbd", "deleted")
 
     def __init__(self, lits: Iterable[int], learnt: bool = False, lbd: int = 0):
         super().__init__(lits)
         self.learnt = learnt
         self.lbd = lbd
+        self.deleted = False
 
 
 class CDCLSolver:
     """Incremental CDCL solver over CNF clauses.
 
-    Typical use::
+    Typical one-shot use::
 
         solver = CDCLSolver()
         solver.add_clause([1, 2])
         solver.add_clause([-1, 2])
         result = solver.solve()
         assert result.is_sat and result.model[2] is True
+
+    Incremental use — one persistent solver, per-call assumptions::
+
+        solver = CDCLSolver()
+        solver.add_formula(formula)
+        for selector in selectors:          # e.g. the K-search descent
+            result = solver.solve(assumptions=[-selector])
+            if result.is_unsat:
+                core = result.failed_assumptions  # subset of assumptions
     """
 
     def __init__(
@@ -70,7 +107,9 @@ class CDCLSolver:
         self.trail: List[int] = []
         self.trail_lim: List[int] = []
         self.qhead = 0
-        self.watches: Dict[int, List[WClause]] = {}
+        # Flat watch table: watches[_widx(lit)] holds (clause, blocker)
+        # pairs for clauses in which ``-lit`` is a watched literal.
+        self.watches: List[list] = [[], []]
         self.clauses: List[WClause] = []
         self.learned: List[WClause] = []
         self.vsids = VSIDS(0, decay=decay)
@@ -79,6 +118,7 @@ class CDCLSolver:
         self.max_learned_growth = max_learned_growth
         self.stats = SolverStats()
         self._unsat = False  # formula proved UNSAT at level 0
+        self._dead_watchers = 0  # lazy-deletion debt; compacted in one sweep
         self._ensure_var(num_vars)
 
     # ------------------------------------------------------------ plumbing
@@ -90,8 +130,8 @@ class CDCLSolver:
             self.trail_pos.append(0)
             self.reason.append(None)
             self.saved_phase.append(self._phase_default)
-            self.watches[self.num_vars] = []
-            self.watches[-self.num_vars] = []
+            self.watches.append([])
+            self.watches.append([])
         self.vsids.grow(self.num_vars)
 
     def value_of(self, lit: int):
@@ -139,8 +179,8 @@ class CDCLSolver:
             return self._propagate() is None or self._mark_unsat()
         clause = WClause(lits)
         self.clauses.append(clause)
-        self.watches[-clause[0]].append(clause)
-        self.watches[-clause[1]].append(clause)
+        self.watches[_widx(-clause[0])].append((clause, clause[1]))
+        self.watches[_widx(-clause[1])].append((clause, clause[0]))
         return True
 
     def _mark_unsat(self) -> bool:
@@ -187,28 +227,42 @@ class CDCLSolver:
         """Unit propagation over clauses; returns a conflict or None."""
         values = self.values
         watches = self.watches
-        while self.qhead < len(self.trail):
-            lit = self.trail[self.qhead]
+        trail = self.trail
+        while self.qhead < len(trail):
+            lit = trail[self.qhead]
             self.qhead += 1
             self.stats.propagations += 1
             false_lit = -lit
-            # Clauses watching ``false_lit`` live under watches[-false_lit].
-            watchlist = watches[lit]
+            watchlist = watches[(lit << 1) if lit > 0 else ((-lit) << 1) | 1]
             i = j = 0
             n = len(watchlist)
             while i < n:
-                clause = watchlist[i]
+                watcher = watchlist[i]
                 i += 1
+                blocker = watcher[1]
+                bval = values[blocker] if blocker > 0 else -values[-blocker]
+                if bval > 0:
+                    # Blocker satisfies the clause: keep the watcher
+                    # without touching the clause at all.
+                    watchlist[j] = watcher
+                    j += 1
+                    continue
+                clause = watcher[0]
+                if clause.deleted:
+                    continue  # lazily drain deleted clauses
                 # Normalize: the false literal sits at position 1.
                 if clause[0] == false_lit:
                     clause[0] = clause[1]
                     clause[1] = false_lit
                 first = clause[0]
-                fval = values[first] if first > 0 else -values[-first]
-                if fval > 0:
-                    watchlist[j] = clause
-                    j += 1
-                    continue
+                if first != blocker:
+                    fval = values[first] if first > 0 else -values[-first]
+                    if fval > 0:
+                        watchlist[j] = (clause, first)
+                        j += 1
+                        continue
+                else:
+                    fval = bval
                 # Look for a non-false replacement watch.
                 moved = False
                 for k in range(2, len(clause)):
@@ -217,12 +271,13 @@ class CDCLSolver:
                     if oval >= 0:
                         clause[1] = other
                         clause[k] = false_lit
-                        watches[-other].append(clause)
+                        oidx = ((other << 1) | 1) if other > 0 else ((-other) << 1)
+                        watches[oidx].append((clause, first))
                         moved = True
                         break
                 if moved:
                     continue
-                watchlist[j] = clause
+                watchlist[j] = (clause, first)
                 j += 1
                 if fval < 0:
                     # Conflict: keep the remaining watchers and report.
@@ -231,7 +286,7 @@ class CDCLSolver:
                         j += 1
                         i += 1
                     del watchlist[j:]
-                    self.qhead = len(self.trail)
+                    self.qhead = len(trail)
                     return clause
                 self._enqueue(first, clause)
             del watchlist[j:]
@@ -290,25 +345,79 @@ class CDCLSolver:
         lbd = len(levels)
         return [learnt_head] + learnt, bt, lbd
 
+    def _analyze_final(self, failed: int, assumptions: Sequence[int]) -> List[int]:
+        """Final-conflict analysis for a falsified assumption literal.
+
+        ``failed`` is an assumption whose complement is implied by the
+        formula plus the *earlier* assumptions.  Walks the implication
+        graph backwards from ``-failed`` and collects every assumption
+        decision it depends on — MiniSat's ``analyzeFinal``.  Returns the
+        failed subset in assumption order (always containing ``failed``);
+        the formula is UNSAT whenever all literals of the subset are
+        assumed together.
+        """
+        core = {failed}
+        var = abs(failed)
+        if self.level[var] > 0 and self.trail_lim:
+            seen = {var}
+            bottom = self.trail_lim[0]
+            for idx in range(len(self.trail) - 1, bottom - 1, -1):
+                lit = self.trail[idx]
+                v = abs(lit)
+                if v not in seen:
+                    continue
+                seen.discard(v)
+                reason = self.reason[v]
+                if reason is None:
+                    # A decision above level 0 during assumption
+                    # establishment is itself an assumption literal.
+                    core.add(lit)
+                else:
+                    for q in self._reason_literals(reason, lit):
+                        if self.level[abs(q)] > 0:
+                            seen.add(abs(q))
+        return [a for a in assumptions if a in core]
+
     def _reason_literals(self, reason, lit: int) -> Sequence[int]:
         """Literals of the reason for ``lit`` (hookable for PB reasons)."""
         return reason
 
     def _minimize(self, learnt: List[int], seen: List[bool]) -> List[int]:
-        """Local clause minimization: drop literals implied by the rest."""
+        """Local clause minimization: drop or substitute implied literals.
+
+        A tail literal whose reason is covered by the clause (every
+        other reason literal seen or level-0) is dropped, as in MiniSat.
+        When exactly *one* reason literal blocks the drop, the tail
+        literal is resolved away through its reason and replaced by that
+        blocker.  Replacements deduplicate, which is what makes
+        assumption-based queries cheap: the many ``x[v][c]`` literals a
+        disabled color injects into a conflict all resolve through their
+        guard clauses to the *same* activator literal, so learnt clauses
+        stay short and are expressed over the selectors they depend on.
+        """
         out = []
+        extra = []
         for q in learnt:
             reason = self.reason[abs(q)]
             if reason is None:
                 out.append(q)
                 continue
-            lits = self._reason_literals(reason, -q)
-            redundant = all(
-                r == -q or seen[abs(r)] or self.level[abs(r)] == 0 for r in lits
-            )
+            blocker = 0
+            redundant = True
+            for r in self._reason_literals(reason, -q):
+                if r == -q or seen[abs(r)] or self.level[abs(r)] == 0:
+                    continue
+                if blocker == 0:
+                    blocker = r
+                else:
+                    redundant = False
+                    break
             if not redundant:
                 out.append(q)
-        return out
+            elif blocker != 0:
+                seen[abs(blocker)] = True
+                extra.append(blocker)
+        return out + extra
 
     def _backtrack(self, target_level: int) -> None:
         if self.decision_level <= target_level:
@@ -338,13 +447,19 @@ class CDCLSolver:
             return None
         clause = WClause(lits, learnt=True, lbd=lbd)
         self.learned.append(clause)
-        self.watches[-clause[0]].append(clause)
-        self.watches[-clause[1]].append(clause)
+        self.watches[_widx(-clause[0])].append((clause, clause[1]))
+        self.watches[_widx(-clause[1])].append((clause, clause[0]))
         self._enqueue(clause[0], clause)
         return clause
 
     def _reduce_db(self) -> None:
-        """Throw away the less useful half of the learnt clauses."""
+        """Throw away the less useful half of the learnt clauses.
+
+        Deletion is lazy: clauses are only marked ``deleted`` here, the
+        propagation loop drains marked watchers as it visits them, and
+        ``_compact_watches`` rebuilds the lists in one sweep once the
+        dead-watcher debt rivals the live watcher count.
+        """
         locked = set()
         for var in range(1, self.num_vars + 1):
             r = self.reason[var]
@@ -360,17 +475,21 @@ class CDCLSolver:
         candidates.sort(key=lambda c: (c.lbd, len(c)))
         cut = len(candidates) // 2
         for c in candidates[cut:]:
-            self._detach(c)
+            c.deleted = True
             self.stats.deleted += 1
+        self._dead_watchers += 2 * (len(candidates) - cut)
         self.learned = keep + candidates[:cut]
         self.max_learned = int(self.max_learned * self.max_learned_growth)
+        live = 2 * (len(self.clauses) + len(self.learned)) + 2
+        if self._dead_watchers * 2 >= live:
+            self._compact_watches()
 
-    def _detach(self, clause: WClause) -> None:
-        for lit in (clause[0], clause[1]):
-            try:
-                self.watches[-lit].remove(clause)
-            except ValueError:
-                pass
+    def _compact_watches(self) -> None:
+        """Drop watchers of deleted clauses from every watch list."""
+        for watchlist in self.watches:
+            if watchlist:
+                watchlist[:] = [w for w in watchlist if not w[0].deleted]
+        self._dead_watchers = 0
 
     # --------------------------------------------------------------- solve
     def solve(
@@ -381,19 +500,27 @@ class CDCLSolver:
     ) -> SolveResult:
         """Decide satisfiability under optional assumption literals.
 
+        Assumptions occupy the first decision levels; restarts backtrack
+        to the assumption prefix (never below), so their propagation
+        survives every restart of the call.  On UNSAT the result carries
+        ``failed_assumptions`` — the subset of assumptions in the final
+        conflict (empty when the formula is UNSAT on its own).
+
         ``time_limit`` (seconds) and ``conflict_limit`` bound the search;
         on exhaustion the result status is :data:`UNKNOWN`.
         """
         start = time.monotonic()
         run = SolverStats()
         if self._unsat:
-            return SolveResult(UNSAT, stats=run)
+            return SolveResult(UNSAT, stats=run, failed_assumptions=[])
         for lit in assumptions:
             self._ensure_var(abs(lit))
+        assume_level = len(assumptions)
         restarts = luby_sequence(self.restart_base)
         budget = next(restarts)
         conflicts_here = 0
-        base_conflicts = self.stats.conflicts
+        base = SolverStats()
+        base.merge(self.stats)
         while True:
             conflict = self._propagate()
             if conflict is not None:
@@ -401,30 +528,37 @@ class CDCLSolver:
                 conflicts_here += 1
                 if self.decision_level == 0:
                     self._unsat = True
-                    return self._finish(UNSAT, start, base_conflicts, run)
+                    result = self._finish(UNSAT, start, base, run)
+                    result.failed_assumptions = []
+                    return result
                 learnt, bt, lbd = self._analyze(conflict)
                 self._backtrack(bt)
                 self._record_learnt(learnt, lbd)
                 self.vsids.decay()
                 self._on_conflict()
                 if conflict_limit is not None and conflicts_here >= conflict_limit:
-                    return self._finish(UNKNOWN, start, base_conflicts, run)
+                    return self._finish(UNKNOWN, start, base, run)
                 if time_limit is not None and (self.stats.conflicts & 127) == 0:
                     if time.monotonic() - start > time_limit:
-                        return self._finish(UNKNOWN, start, base_conflicts, run)
+                        return self._finish(UNKNOWN, start, base, run)
                 if conflicts_here >= budget:
                     budget = conflicts_here + next(restarts)
                     self.stats.restarts += 1
-                    self._backtrack(0)
+                    # Assumption-aware restart: keep the assumption
+                    # prefix (and everything it implied) assigned.
+                    self._backtrack(min(assume_level, self.decision_level))
                 if len(self.learned) > self.max_learned:
                     self._reduce_db()
                 continue
             # No conflict: re-establish assumptions, then decide.
-            if self.decision_level < len(assumptions):
+            if self.decision_level < assume_level:
                 lit = assumptions[self.decision_level]
                 value = self.value_of(lit)
                 if value is False:
-                    return self._finish(UNSAT, start, base_conflicts, run)
+                    core = self._analyze_final(lit, assumptions)
+                    result = self._finish(UNSAT, start, base, run)
+                    result.failed_assumptions = core
+                    return result
                 self.trail_lim.append(len(self.trail))
                 if value is None:
                     self._enqueue(lit, None)
@@ -432,13 +566,13 @@ class CDCLSolver:
             var = self.vsids.pop_unassigned(lambda v: self.values[v] != 0)
             if var == 0:
                 model = {v: self.values[v] > 0 for v in range(1, self.num_vars + 1)}
-                result = self._finish(SAT, start, base_conflicts, run)
+                result = self._finish(SAT, start, base, run)
                 result.model = model
                 return result
             self.stats.decisions += 1
             if time_limit is not None and (self.stats.decisions & 1023) == 0:
                 if time.monotonic() - start > time_limit:
-                    return self._finish(UNKNOWN, start, base_conflicts, run)
+                    return self._finish(UNKNOWN, start, base, run)
             self.trail_lim.append(len(self.trail))
             lit = var if self.saved_phase[var] else -var
             self._enqueue(lit, None)
@@ -447,14 +581,15 @@ class CDCLSolver:
         """Hook for subclasses (e.g. extra learning)."""
 
     def _finish(
-        self, status: str, start: float, base_conflicts: int, run: SolverStats
+        self, status: str, start: float, base: SolverStats, run: SolverStats
     ) -> SolveResult:
         self._backtrack(0)
-        run.conflicts = self.stats.conflicts - base_conflicts
-        run.decisions = self.stats.decisions
-        run.propagations = self.stats.propagations
-        run.restarts = self.stats.restarts
-        run.learned = self.stats.learned
+        run.conflicts = self.stats.conflicts - base.conflicts
+        run.decisions = self.stats.decisions - base.decisions
+        run.propagations = self.stats.propagations - base.propagations
+        run.restarts = self.stats.restarts - base.restarts
+        run.learned = self.stats.learned - base.learned
+        run.deleted = self.stats.deleted - base.deleted
         run.time_seconds = time.monotonic() - start
         return SolveResult(status, stats=run)
 

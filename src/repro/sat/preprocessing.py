@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..core.clause import Clause
 from ..core.formula import Formula
 from ..core.literals import var_of
+from ..core.pbconstraint import PBConstraint
 
 
 @dataclass
@@ -408,6 +409,8 @@ class SimplifyStats:
     units_propagated: int = 0
     subsumed: int = 0
     strengthened: int = 0
+    pb_tightened: int = 0
+    pb_satisfied: int = 0
 
     def merge(self, other: "SimplifyStats") -> None:
         """Accumulate another run's counters (clause totals included)."""
@@ -418,6 +421,55 @@ class SimplifyStats:
         self.units_propagated += other.units_propagated
         self.subsumed += other.subsumed
         self.strengthened += other.strengthened
+        self.pb_tightened += other.pb_tightened
+        self.pb_satisfied += other.pb_satisfied
+
+
+def substitute_forced_into_pb(
+    constraints, forced: Dict[int, bool], stats: Optional[SimplifyStats] = None
+):
+    """Substitute a forced assignment directly into PB constraints.
+
+    A term whose literal is forced true moves its coefficient onto the
+    bound; a term forced false contributes nothing and is dropped.  The
+    result is the tighter, smaller constraint set the PB engines load
+    directly, instead of every solver re-deriving the substitution from
+    re-added unit constraints.  Constraints that become variable-free
+    are checked outright: a satisfied one is dropped, a violated one
+    proves UNSAT (``None`` is returned).
+    """
+    out = []
+    for pb in constraints:
+        new_terms = []
+        bound = pb.bound
+        changed = False
+        for coef, lit in pb.terms:
+            value = forced.get(var_of(lit))
+            if value is None:
+                new_terms.append((coef, lit))
+                continue
+            changed = True
+            if (lit > 0) == value:
+                bound -= coef
+        if not changed:
+            out.append(pb)
+            continue
+        if stats is not None:
+            stats.pb_tightened += 1
+        if not new_terms:
+            lhs = 0
+            ok = (
+                lhs >= bound if pb.relation == ">="
+                else lhs <= bound if pb.relation == "<="
+                else lhs == bound
+            )
+            if not ok:
+                return None
+            if stats is not None:
+                stats.pb_satisfied += 1
+            continue
+        out.append(PBConstraint(new_terms, pb.relation, bound))
+    return out
 
 
 def simplify_formula(
@@ -433,9 +485,16 @@ def simplify_formula(
     variable elimination are deliberately excluded: variables shared
     with PB constraints or the objective cannot be discarded.
 
-    PB constraints, the objective and ``num_vars`` are carried over
-    untouched.  Returns ``(formula, stats)``; the formula is ``None``
-    when the clause database is UNSAT by itself.
+    Forced literals (from unit propagation) are additionally
+    *substituted into the PB constraints*, tightening their degrees and
+    dropping dead terms, instead of leaving every solver to re-derive
+    the substitution from the re-emitted unit clauses.  The units are
+    still kept in the output, so the conjunction remains logically
+    equivalent over the original variables and models decode unchanged.
+
+    The objective and ``num_vars`` are carried over untouched.  Returns
+    ``(formula, stats)``; the formula is ``None`` when the clause
+    database (or a PB constraint under the forced assignment) is UNSAT.
     """
     stats = SimplifyStats(clauses_before=len(formula.clauses))
     clauses, tautologies, duplicates = _canonical_intake(
@@ -457,12 +516,17 @@ def simplify_formula(
             return None, stats
         if not (units or subsumed or strengthened):
             break
+    pb_constraints = substitute_forced_into_pb(
+        formula.pb_constraints, forced, stats
+    )
+    if pb_constraints is None:
+        return None, stats
     out = Formula(num_vars=formula.num_vars)
     for var in sorted(forced):
         out.add_clause([var if forced[var] else -var])
     for clause in clauses:
         out.add_clause(clause)
-    out.pb_constraints = list(formula.pb_constraints)
+    out.pb_constraints = pb_constraints
     out.objective = formula.objective
     out.objective_sense = formula.objective_sense
     stats.clauses_after = len(out.clauses)

@@ -39,11 +39,20 @@ class SolveResult:
 
     ``status`` is one of :data:`SAT`, :data:`UNSAT`, :data:`UNKNOWN`.
     ``model`` maps every variable to a bool when status is SAT.
+
+    ``failed_assumptions`` is populated on UNSAT answers of
+    assumption-based queries: it is a subset of the assumption literals
+    that is already jointly unsatisfiable with the formula (the final
+    conflict clause expressed over the assumptions, MiniSat-style).  An
+    empty list means the formula is unsatisfiable regardless of the
+    assumptions; ``None`` means the query did not produce a core
+    (SAT / UNKNOWN results).
     """
 
     status: str
     model: Optional[Dict[int, bool]] = None
     stats: SolverStats = field(default_factory=SolverStats)
+    failed_assumptions: Optional[list] = None
 
     @property
     def is_sat(self) -> bool:

@@ -101,3 +101,33 @@ def test_module_entrypoint_runs():
     )
     assert result.returncode == 0
     assert "color" in result.stdout
+
+
+def test_chromatic_command(capsys, col_file):
+    code = repro_main(["chromatic", col_file, "--time-limit", "60"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OPTIMAL" in out
+    assert "chromatic number: 4" in out
+    assert "incremental (1 persistent solver)" in out
+    assert "K queries:" in out
+
+
+def test_chromatic_command_scratch_mode(capsys, col_file):
+    code = repro_main([
+        "chromatic", col_file, "--no-incremental", "--strategy", "binary",
+        "--time-limit", "60",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "chromatic number: 4" in out
+    assert "scratch" in out
+
+
+def test_color_incremental_flag_accepted(capsys, col_file):
+    code = repro_main([
+        "color", col_file, "--no-incremental", "--time-limit", "60",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "colors used:      4" in out

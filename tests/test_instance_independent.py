@@ -37,7 +37,11 @@ def brute_chromatic(graph, max_colors):
         for assignment in itertools.product(range(k), repeat=graph.num_vertices):
             if all(assignment[u] != assignment[v] for u, v in graph.edges()):
                 return k
-    return max_colors
+    # Not colorable within the budget: report strictly more than the
+    # budget so callers' `expected > k` guards actually fire (returning
+    # `max_colors` here made K5 at k=4 look 4-colorable and the random
+    # property test below flag a correct UNSAT as a failure).
+    return max_colors + 1
 
 
 def optimum(graph, k, kind):

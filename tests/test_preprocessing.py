@@ -206,7 +206,10 @@ def test_simplify_formula_is_model_preserving(data):
         assert before.status == "UNSAT"
         return
     assert out.num_vars == f.num_vars
-    assert len(out.pb_constraints) == len(f.pb_constraints)
+    # Forced literals are substituted into PB constraints, so a
+    # constraint may shrink or disappear (when trivially satisfied),
+    # but never multiply.
+    assert len(out.pb_constraints) <= len(f.pb_constraints)
     after = brute_force_solve(out)
     assert after.status == before.status
     if after.status == "SAT":
@@ -226,3 +229,52 @@ def test_simplify_formula_keeps_objective():
     # Units derived by propagation stay visible as unit clauses.
     unit_lits = {c.literals[0] for c in out.clauses if c.is_unit}
     assert {1, 2} <= unit_lits
+
+
+def test_simplify_substitutes_forced_into_pb():
+    # A forced true literal moves its coefficient onto the bound; a
+    # forced false literal disappears from the terms.
+    f = Formula(num_vars=4)
+    f.add_clause([1])       # force 1 = True
+    f.add_clause([-2])      # force 2 = False
+    f.add_pb([(2, 1), (3, 2), (1, 3), (1, 4)], ">=", 3)
+    out, stats = simplify_formula(f)
+    assert out is not None
+    assert stats.pb_tightened == 1
+    (pb,) = out.pb_constraints
+    assert pb.terms == ((1, 3), (1, 4))
+    assert pb.relation == ">=" and pb.bound == 1  # 3 - coef(1) = 1
+    # Units stay visible, so the conjunction is still equivalent.
+    unit_lits = {c.literals[0] for c in out.clauses if c.is_unit}
+    assert {1, -2} <= unit_lits
+
+
+def test_simplify_drops_satisfied_pb():
+    f = Formula(num_vars=3)
+    f.add_clause([1])
+    f.add_clause([2])
+    f.add_pb([(1, 1), (1, 2)], ">=", 2)  # satisfied by the forced units
+    out, stats = simplify_formula(f)
+    assert out is not None
+    assert out.pb_constraints == []
+    assert stats.pb_satisfied == 1
+
+
+def test_simplify_detects_pb_infeasible_under_units():
+    f = Formula(num_vars=2)
+    f.add_clause([-1])
+    f.add_clause([-2])
+    f.add_pb([(1, 1), (1, 2)], ">=", 1)  # both terms forced false
+    out, stats = simplify_formula(f)
+    assert out is None
+
+
+def test_simplify_pb_equality_substitution():
+    f = Formula(num_vars=3)
+    f.add_clause([1])
+    f.add_pb([(1, 1), (1, 2), (1, 3)], "=", 1)  # exactly-one, one forced
+    out, stats = simplify_formula(f)
+    assert out is not None
+    (pb,) = out.pb_constraints
+    assert pb.relation == "=" and pb.bound == 0
+    assert pb.terms == ((1, 2), (1, 3))

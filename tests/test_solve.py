@@ -88,3 +88,42 @@ def test_timeout_reports_unknown_or_sat():
     g = queens_graph(6, 6)
     result = solve_coloring(g, 9, solver="pbs2", time_limit=0.05)
     assert result.status in ("UNKNOWN", "SAT", "OPTIMAL")
+
+
+def test_symmetry_detection_after_simplification_same_answers():
+    # Regression for the pipeline reorder: symmetry detection now runs
+    # on the *simplified* formula.  Chromatic numbers must be identical
+    # with and without preprocessing, and with and without
+    # instance-dependent SBPs, across representative instances.
+    cases = [(mycielski_graph(3), 4), (queens_graph(4, 4), 5)]
+    for graph, chi in cases:
+        for preprocess in (True, False):
+            result = solve_coloring(
+                graph, chi + 1, solver="pbs2", instance_dependent=True,
+                preprocess=preprocess, time_limit=60,
+            )
+            assert result.status == "OPTIMAL", (graph.name, preprocess)
+            assert result.num_colors == chi, (graph.name, preprocess)
+            assert result.detection is not None
+
+
+def test_detection_on_simplified_formula_still_finds_symmetries():
+    # The simplified queens encoding keeps its color symmetry; the
+    # detector must still report generators after the reorder.
+    g = queens_graph(4, 4)
+    result = solve_coloring(
+        g, 6, solver="pbs2", instance_dependent=True, preprocess=True,
+        time_limit=60,
+    )
+    assert result.detection is not None
+    assert result.detection.num_generators > 0
+
+
+def test_binary_solver_profiles_incremental_matches_fresh():
+    # The pueblo preset uses the binary optimization strategy; the
+    # persistent-solver bisection must agree with fresh-solver probes.
+    g = queens_graph(4, 4)
+    inc = solve_coloring(g, 6, solver="pueblo", incremental=True, time_limit=60)
+    fresh = solve_coloring(g, 6, solver="pueblo", incremental=False, time_limit=60)
+    assert inc.status == fresh.status == "OPTIMAL"
+    assert inc.num_colors == fresh.num_colors == 5
