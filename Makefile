@@ -4,15 +4,24 @@
 # signal — including one incremental K-search descent end-to-end, which
 # fails if the pipeline silently falls back to per-K scratch solving;
 # `make bench` runs the benchmarks for real; `make bench-json`
-# regenerates every machine-readable BENCH_<name>.json perf record.
+# regenerates every machine-readable BENCH_<name>.json perf record;
+# `make lint` runs ruff (and skips with a notice when ruff is not
+# installed, so offline environments keep working).
 
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke bench bench-json
+.PHONY: test lint bench-smoke bench bench-json
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (CI installs it)"; \
+	fi
 
 bench-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -q --benchmark-disable \

@@ -17,8 +17,8 @@ import time
 
 import pytest
 
+from repro.api import ChromaticProblem, Pipeline
 from repro.coloring.sat_pipeline import encode_k_coloring_cnf
-from repro.coloring.solve import find_chromatic_number
 from repro.graphs.generators import book_graph, interference_graph
 from repro.sat.preprocessing import preprocess, subsume_clauses
 
@@ -155,20 +155,20 @@ def test_pipeline_speedup_sparse_families(benchmark, bench_json):
         ("register", interference_graph(40, 90, 5, seed=1)),
     ]
 
+    full = (Pipeline()
+            .symmetry(sbp_kind="nu")
+            .solve(backend="pb-pbs2", time_limit=60))
+    raw_pipe = full.reduce(False).simplify(False)
+
     def run_pipeline():
         return [
-            find_chromatic_number(g, time_limit=60).num_colors
-            for _, g in instances
+            full.run(ChromaticProblem(g)).num_colors for _, g in instances
         ]
 
     raw = []
     start = time.perf_counter()
     for _, g in instances:
-        raw.append(
-            find_chromatic_number(
-                g, preprocess=False, reduce=False, time_limit=60
-            ).num_colors
-        )
+        raw.append(raw_pipe.run(ChromaticProblem(g)).num_colors)
     raw_seconds = time.perf_counter() - start
     piped = benchmark.pedantic(run_pipeline, rounds=3, iterations=1)
     assert piped == raw

@@ -9,8 +9,8 @@ accordingly.
 
 import pytest
 
-from repro.coloring.reduce import peel_low_degree, solve_with_reduction
-from repro.coloring.sat_pipeline import sat_k_colorable
+from repro.api import DecisionProblem, Pipeline
+from repro.coloring.reduce import peel_low_degree
 from repro.experiments.instances import get_instance
 
 SPARSE = [("huck", 11), ("jean", 10), ("miles250", 8)]
@@ -32,15 +32,16 @@ def test_peeling_shrinks_sparse_instances(benchmark, name, k, bench_json):
 @pytest.mark.parametrize("name,k", [("huck", 11), ("jean", 10)])
 def test_reduced_solve(benchmark, name, k, bench_json):
     graph = get_instance(name).graph()
-    result = benchmark(
-        lambda: solve_with_reduction(graph, k, lambda g, kk: sat_k_colorable(g, kk, time_limit=30))
-    )
+    pipe = Pipeline().reduce(True).solve(backend="pb-pbs2", time_limit=30)
+
+    def run():
+        return pipe.run(DecisionProblem(graph, k))
+
+    result = benchmark(run)
     assert result.status == "SAT"
     assert graph.is_proper_coloring(result.coloring)
     # One standalone timed run (benchmark() may loop calibration rounds).
-    _, seconds = bench_json.timed(
-        solve_with_reduction, graph, k,
-        lambda g, kk: sat_k_colorable(g, kk, time_limit=30))
+    _, seconds = bench_json.timed(run)
     bench_json.add(f"{name}-solve", k=k, status=result.status,
-                   components_solved=result.components_solved,
+                   components_solved=result.pipeline.components_solved,
                    wall_seconds=round(seconds, 4))

@@ -11,14 +11,27 @@ about runtimes; ours checks consistency and records the times).
 
 import pytest
 
+from repro.api import BudgetedOptimize, ChromaticProblem, Pipeline
 from repro.coloring.coudert import coudert_chromatic_number
 from repro.coloring.mehrotra_trick import mt_chromatic_number
 from repro.coloring.necsp import necsp_chromatic_number
-from repro.coloring.sat_pipeline import chromatic_number_sat
-from repro.coloring.solve import solve_coloring
 from repro.experiments.instances import get_instance
 
 CASES = [("myciel3", 4), ("myciel4", 5), ("queen5_5", 5)]
+
+
+def _repeated_sat(graph):
+    return (Pipeline()
+            .symmetry(sbp_kind="nu")
+            .solve(backend="cdcl-incremental", time_limit=60)
+            .run(ChromaticProblem(graph)))
+
+
+def _ilp_pipeline(graph, budget):
+    return (Pipeline()
+            .symmetry(sbp_kind="nu+sc")
+            .solve(backend="pb-pbs2", time_limit=60)
+            .run(BudgetedOptimize(graph, budget)))
 
 
 @pytest.mark.parametrize("name,chi", CASES)
@@ -56,14 +69,11 @@ def test_mehrotra_trick(benchmark, name, chi, bench_json):
 @pytest.mark.parametrize("name,chi", CASES)
 def test_repeated_sat(benchmark, name, chi, bench_json):
     graph = get_instance(name).graph()
-    result = benchmark(
-        lambda: chromatic_number_sat(graph, sbp_kind="nu", time_limit=60)
-    )
+    result = benchmark(lambda: _repeated_sat(graph))
     assert result.chromatic_number == chi
-    timed, seconds = bench_json.timed(
-        chromatic_number_sat, graph, sbp_kind="nu", time_limit=60)
+    timed, seconds = bench_json.timed(_repeated_sat, graph)
     bench_json.add(f"{name}-repeated-sat", chromatic_number=chi,
-                   k_queries=[list(q) for q in timed.k_queries],
+                   k_queries=[list(q) for q in timed.queries],
                    conflicts=timed.stats.conflicts,
                    propagations=timed.stats.propagations,
                    wall_seconds=round(seconds, 4))
@@ -72,13 +82,8 @@ def test_repeated_sat(benchmark, name, chi, bench_json):
 @pytest.mark.parametrize("name,chi", CASES)
 def test_ilp_pipeline(benchmark, name, chi, bench_json):
     graph = get_instance(name).graph()
-    result = benchmark(
-        lambda: solve_coloring(graph, chi + 2, solver="pbs2",
-                               sbp_kind="nu+sc", time_limit=60)
-    )
+    result = benchmark(lambda: _ilp_pipeline(graph, chi + 2))
     assert result.num_colors == chi
-    _, seconds = bench_json.timed(
-        solve_coloring, graph, chi + 2, solver="pbs2",
-        sbp_kind="nu+sc", time_limit=60)
+    _, seconds = bench_json.timed(_ilp_pipeline, graph, chi + 2)
     bench_json.add(f"{name}-ilp-pipeline", chromatic_number=chi,
                    wall_seconds=round(seconds, 4))

@@ -9,8 +9,8 @@ per-query loop, on multi-K queens/mycielski descents.  Results land in
 ``BENCH_solver_micro.json``.
 """
 
+from repro.api import ChromaticProblem, Pipeline
 from repro.coloring.encoding import encode_coloring
-from repro.coloring.sat_pipeline import chromatic_number_sat
 from repro.core.formula import Formula
 from repro.experiments.runner import run_descent
 from repro.graphs.generators import mycielski_graph, queens_graph
@@ -162,22 +162,25 @@ def test_incremental_descent_stays_incremental(bench_json):
 
     A silent regression to per-K scratch solving would keep answers
     correct while quietly discarding the persistent-solver speedup, so
-    ``make bench-smoke`` fails if the default pipeline ever reports
-    more than one solver instantiation for a multi-query descent.
+    ``make bench-smoke`` fails if the ``cdcl-incremental`` backend ever
+    reports more than one solver instantiation for a multi-query
+    descent.  Runs through ``repro.api`` like every other caller.
     """
-    result = chromatic_number_sat(
-        mycielski_graph(4), strategy="binary", time_limit=120
+    result = (
+        Pipeline()
+        .solve(backend="cdcl-incremental", strategy="binary", time_limit=120)
+        .run(ChromaticProblem(mycielski_graph(4)))
     )
     assert result.status == "OPTIMAL" and result.chromatic_number == 5
-    assert result.sat_calls >= 2
-    assert result.incremental, "default descent must run incrementally"
+    assert len(result.queries) >= 2
+    assert result.backend == "cdcl-incremental"
     assert result.solvers_created == 1, (
         f"incremental descent created {result.solvers_created} solvers; "
         "it has silently fallen back to per-K scratch solving"
     )
     bench_json.add(
-        "smoke-incremental-guard", sat_calls=result.sat_calls,
+        "smoke-incremental-guard", sat_calls=len(result.queries),
         solvers_created=result.solvers_created,
         conflicts=result.stats.conflicts,
-        k_queries=[list(q) for q in result.k_queries],
+        k_queries=[list(q) for q in result.queries],
     )

@@ -5,7 +5,9 @@ Courses that share students cannot sit exams in the same slot; the
 minimum number of slots is the chromatic number of the conflict graph.
 Demonstrates the instance-independent/instance-dependent SBP comparison
 on a structured CSP: slots (colors) are fully interchangeable, so color
-symmetry breaking pays off immediately.
+symmetry breaking pays off immediately.  Each configuration is one
+specialization of a shared base Pipeline — only the symmetry stage
+changes between runs.
 
 Run:  python examples/exam_timetabling.py
 """
@@ -13,7 +15,7 @@ Run:  python examples/exam_timetabling.py
 import random
 import time
 
-from repro.coloring import solve_coloring
+from repro.api import BudgetedOptimize, Pipeline
 from repro.graphs import Graph, dsatur
 
 COURSES = [
@@ -40,20 +42,19 @@ def main() -> None:
     _, upper = dsatur(graph)
     print(f"DSATUR needs {upper} slots; trying to do better exactly...")
 
+    problem = BudgetedOptimize(graph, max_colors=upper)
+    base = Pipeline().solve(backend="pb-pbs2", time_limit=60)
     for sbp, inst_dep in (("none", False), ("nu+sc", False), ("none", True)):
+        pipeline = base.symmetry(sbp_kind=sbp, instance_dependent=inst_dep)
         start = time.monotonic()
-        result = solve_coloring(
-            graph, num_colors=upper, solver="pbs2",
-            sbp_kind=sbp, instance_dependent=inst_dep, time_limit=60,
-        )
+        result = pipeline.run(problem)
         label = sbp + ("+inst-dep" if inst_dep else "")
         print(
             f"  [{label:12s}] {result.status}: {result.num_colors} slots "
             f"in {time.monotonic() - start:.2f}s"
         )
 
-    result = solve_coloring(graph, num_colors=upper, solver="pbs2",
-                            sbp_kind="nu+sc", time_limit=60)
+    result = base.symmetry(sbp_kind="nu+sc").run(problem)
     print("\ntimetable:")
     slots = {}
     for course, slot in sorted(result.coloring.items()):

@@ -6,14 +6,16 @@ bipartite edges are added between adjacent regions.  The paper points
 out that this reduction *introduces extra instance-independent
 symmetries* — the vertices of a region's clique are interchangeable —
 on top of the color symmetries; this example shows both being detected
-and broken.
+and broken, with the detection step configured (and its report
+surfaced) through the Pipeline's symmetry stage.
 
 Run:  python examples/frequency_assignment.py
 """
 
 import itertools
 
-from repro.coloring import encode_coloring, solve_coloring
+from repro.api import BudgetedOptimize, Pipeline
+from repro.coloring import encode_coloring
 from repro.graphs import Graph
 from repro.symmetry import detect_symmetries
 
@@ -53,9 +55,17 @@ def main() -> None:
           f"(#G={report.num_generators}) — includes the per-region "
           f"vertex swaps the paper predicts")
 
-    result = solve_coloring(graph, 8, solver="pbs2", sbp_kind="nu+sc",
-                            instance_dependent=True, time_limit=60)
+    result = (
+        Pipeline()
+        .reduce(False)  # solve the reduction whole: keep its symmetries visible
+        .symmetry(sbp_kind="nu+sc", instance_dependent=True,
+                  detection_node_limit=50000)
+        .solve(backend="pb-pbs2", time_limit=60)
+        .run(BudgetedOptimize(graph, max_colors=8))
+    )
     print(f"\nminimum number of frequencies: {result.num_colors} ({result.status})")
+    print(f"(lex-leader SBPs built from {result.detection.num_generators} "
+          f"detected generators)")
     for region, vertices in vertex_of.items():
         freqs = sorted(result.coloring[v] for v in vertices)
         print(f"  {region:7s}: frequencies {freqs}")

@@ -3,9 +3,12 @@
 
 Nets that could short against each other cannot share a test group
 ("supernet"); minimizing test rounds = coloring the potential-short
-graph.  This example compares three of the repo's exact pipelines on
-the same board: the paper's 0-1 ILP route, the pure-CNF repeated-SAT
-route, and the problem-specific DSATUR branch and bound.
+graph.  This example runs the *same* :class:`ChromaticProblem` on three
+registered backends — the paper's 0-1 ILP route (``pb-pbs2``), the
+pure-CNF repeated-SAT route on one persistent solver
+(``cdcl-incremental``), and the problem-specific DSATUR branch and
+bound (``exact-dsatur``) — and checks they agree.  Swapping engines is
+one string; no call-site surgery.
 
 Run:  python examples/pcb_testing.py
 """
@@ -13,11 +16,7 @@ Run:  python examples/pcb_testing.py
 import random
 import time
 
-from repro.coloring import (
-    chromatic_number_sat,
-    exact_chromatic_number,
-    solve_coloring,
-)
+from repro.api import ChromaticProblem, Pipeline
 from repro.graphs import Graph
 
 
@@ -41,24 +40,29 @@ def build_board(num_nets=30, seed=11):
 def main() -> None:
     graph = build_board()
     print(f"potential-short graph: {graph}")
+    problem = ChromaticProblem(graph)
 
-    t0 = time.monotonic()
-    ilp = solve_coloring(graph, 12, solver="pbs2", sbp_kind="nu+sc", time_limit=60)
-    t_ilp = time.monotonic() - t0
+    runs = {}
+    for backend, sbp in (
+        ("pb-pbs2", "nu+sc"),
+        ("cdcl-incremental", "nu"),
+        ("exact-dsatur", "none"),
+    ):
+        pipeline = (Pipeline()
+                    .symmetry(sbp_kind=sbp)
+                    .solve(backend=backend, time_limit=60))
+        t0 = time.monotonic()
+        runs[backend] = (pipeline.run(problem), time.monotonic() - t0)
 
-    t0 = time.monotonic()
-    sat = chromatic_number_sat(graph, strategy="linear", sbp_kind="nu", time_limit=60)
-    t_sat = time.monotonic() - t0
-
-    t0 = time.monotonic()
-    bb = exact_chromatic_number(graph, time_limit=60)
-    t_bb = time.monotonic() - t0
-
+    ilp, t_ilp = runs["pb-pbs2"]
+    sat, t_sat = runs["cdcl-incremental"]
+    bb, t_bb = runs["exact-dsatur"]
     print(f"0-1 ILP pipeline:    {ilp.num_colors} rounds in {t_ilp:.2f}s ({ilp.status})")
-    print(f"repeated-SAT (CNF):  {sat.chromatic_number} rounds in {t_sat:.2f}s "
-          f"({sat.status}, {sat.sat_calls} SAT calls)")
-    print(f"DSATUR B&B baseline: {bb.chromatic_number} rounds in {t_bb:.2f}s")
-    assert ilp.num_colors == sat.chromatic_number == bb.chromatic_number
+    print(f"repeated-SAT (CNF):  {sat.num_colors} rounds in {t_sat:.2f}s "
+          f"({sat.status}, {len(sat.queries)} SAT calls on "
+          f"{sat.solvers_created} solver)")
+    print(f"DSATUR B&B baseline: {bb.num_colors} rounds in {t_bb:.2f}s")
+    assert ilp.num_colors == sat.num_colors == bb.num_colors
 
     rounds = {}
     for net, group in sorted(ilp.coloring.items()):

@@ -3,18 +3,22 @@
 
 Reproduces the shape of the paper's Appendix Table 5 on queen5_5: every
 instance-independent construction, with and without instance-dependent
-lex-leader SBPs, on the PBS-II-profile solver — printing runtime,
-status and the symmetry statistics that explain the differences.
+lex-leader SBPs, on the PBS-II-profile backend — printing runtime,
+status and the symmetry statistics that explain the differences.  The
+grid is a base Pipeline specialized per cell (one ``symmetry(...)``
+call each); the detection cache is shared across cells the way the
+experiment tables share it.
 
 Run:  python examples/queens_study.py
 """
 
 import time
 
-from repro.coloring import encode_coloring, solve_coloring
+from repro.api import BudgetedOptimize, Pipeline
+from repro.coloring import encode_coloring
 from repro.graphs import queens_graph
 from repro.sbp import SBP_KINDS, apply_sbp
-from repro.symmetry import PermutationGroup, detect_symmetries
+from repro.symmetry import detect_symmetries
 
 K = 7  # color budget; chi(queen5_5) = 5
 
@@ -24,30 +28,31 @@ def main() -> None:
     print(f"instance: {graph}, color budget K={K}\n")
 
     print("symmetries remaining after each instance-independent construction:")
-    base = encode_coloring(graph, K)
+    base_encoding = encode_coloring(graph, K)
     for kind in SBP_KINDS:
-        encoding = apply_sbp(base, kind)
+        encoding = apply_sbp(base_encoding, kind)
         report = detect_symmetries(encoding.formula, node_limit=50000)
         print(
             f"  {kind:6s}: #S={report.order:.3g} #G={report.num_generators:3d} "
             f"(detected in {report.detection_seconds:.2f}s)"
         )
 
-    print("\nsolve times (pbs2 profile):")
+    problem = BudgetedOptimize(graph, max_colors=K)
+    base = Pipeline().solve(backend="pb-pbs2", time_limit=120)
+    detection_cache = {}
+    print("\nsolve times (pb-pbs2 backend):")
     print(f"{'SBP':8s} {'orig':>12s} {'with inst-dep SBPs':>20s}")
     for kind in SBP_KINDS:
         cells = []
         for inst_dep in (False, True):
+            pipeline = base.symmetry(sbp_kind=kind, instance_dependent=inst_dep)
             start = time.monotonic()
-            result = solve_coloring(
-                graph, K, solver="pbs2", sbp_kind=kind,
-                instance_dependent=inst_dep, time_limit=120,
-            )
+            result = pipeline.run(problem, detection_cache=detection_cache)
             took = time.monotonic() - start
             cells.append(f"{result.status[:3]} {took:6.2f}s")
         print(f"{kind:8s} {cells[0]:>12s} {cells[1]:>20s}")
 
-    result = solve_coloring(graph, K, solver="pbs2", sbp_kind="nu+sc", time_limit=120)
+    result = base.symmetry(sbp_kind="nu+sc").run(problem)
     print(f"\nchromatic number of queen5_5: {result.num_colors} ({result.status})")
 
 

@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""Quickstart: exact minimum coloring with symmetry breaking.
+"""Quickstart: exact minimum coloring through the ``repro.api`` stack.
 
-Builds the queen5_5 DIMACS instance, encodes it as 0-1 ILP, adds the
-paper's best instance-independent SBP combination (NU + SC), solves
-with the PBS-II-profile solver, and cross-checks the result against the
-DSATUR branch-and-bound baseline.
+Builds the queen5_5 DIMACS instance, describes *what* to solve with a
+problem value object, *how* to solve it with a Pipeline (the paper's
+best instance-independent SBP combination NU + SC, the PBS-II-profile
+backend), and cross-checks the result against the DSATUR
+branch-and-bound baseline — which is just the same problem run on a
+different registered backend.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.coloring import exact_chromatic_number, solve_coloring
+from repro.api import ChromaticProblem, Pipeline
 from repro.coloring.verify import check_proper
 from repro.graphs import dsatur, queens_graph
 
@@ -21,19 +23,23 @@ def main() -> None:
     heuristic_coloring, heuristic_colors = dsatur(graph)
     print(f"DSATUR heuristic upper bound: {heuristic_colors} colors")
 
-    result = solve_coloring(
-        graph,
-        num_colors=heuristic_colors,  # K budget, as in the paper
-        solver="pbs2",
-        sbp_kind="nu+sc",
-        time_limit=60,
+    pipeline = (
+        Pipeline()
+        .symmetry(sbp_kind="nu+sc")     # the paper's best combination
+        .solve(backend="pb-pbs2", time_limit=60)
     )
-    print(f"exact result: {result.status}, chromatic number = {result.num_colors}")
+    problem = ChromaticProblem(graph)
+    result = pipeline.run(problem)
+    print(f"exact result: {result.status}, chromatic number = {result.chromatic_number}")
     check_proper(graph, result.coloring)
     print("coloring verified proper")
+    print("stage trace:", ", ".join(
+        f"{s.name} {s.seconds * 1000:.0f}ms" for s in result.stages))
 
-    baseline = exact_chromatic_number(graph, time_limit=60)
-    assert baseline.chromatic_number == result.num_colors, "pipelines disagree!"
+    # Same problem, different backend — that is the whole registry idea.
+    # (The DSATUR baseline takes no SBPs: it never builds a formula.)
+    baseline = Pipeline().solve(backend="exact-dsatur", time_limit=60).run(problem)
+    assert baseline.chromatic_number == result.chromatic_number, "backends disagree!"
     print(f"DSATUR branch-and-bound agrees: {baseline.chromatic_number}")
 
     classes = {}

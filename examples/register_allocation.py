@@ -4,14 +4,17 @@
 Compiles a toy straight-line program into live ranges, builds the
 interference graph (Chaitin's construction: variables conflict when
 simultaneously live), and finds the minimum number of registers with
-the 0-1 ILP pipeline.  Also shows the paper's motivating scenario:
-checking whether the program fits a fixed register budget K, which is
-exactly the K-coloring decision problem.
+the 0-1 ILP pipeline.  The paper's motivating scenario — checking
+whether the program fits a fixed register budget K — is a sequence of
+*decision* queries at different budgets, which is exactly what
+:class:`repro.api.Session` exists for: every query runs on one
+persistent solver, and raising the budget grows the encoding in place
+instead of re-encoding.
 
 Run:  python examples/register_allocation.py
 """
 
-from repro.coloring import solve_coloring
+from repro.api import BudgetedOptimize, Pipeline, Session
 from repro.graphs import Graph
 
 # A toy three-address program: (target, sources) per instruction.
@@ -59,18 +62,29 @@ def main() -> None:
     for u, v in graph.edges():
         print(f"  {names[u]} <-> {names[v]}")
 
-    result = solve_coloring(graph, num_colors=len(names), solver="pbs2",
-                            sbp_kind="nu+sc", time_limit=30)
+    result = (
+        Pipeline()
+        .symmetry(sbp_kind="nu+sc")
+        .solve(backend="pb-pbs2", time_limit=30)
+        .run(BudgetedOptimize(graph, max_colors=len(names)))
+    )
     print(f"\nminimum registers needed: {result.num_colors} ({result.status})")
     for vertex, color in sorted(result.coloring.items()):
         print(f"  {names[vertex]:4s} -> r{color}")
 
     # The paper's embedded-CPU scenario: does it fit in K registers?
-    for budget in (result.num_colors - 1, result.num_colors):
-        feasible = solve_coloring(graph, num_colors=max(budget, 1),
-                                  solver="pbs2", sbp_kind="nu", time_limit=30)
-        verdict = "fits" if feasible.status != "UNSAT" else "does NOT fit"
-        print(f"budget of {budget} registers: {verdict}")
+    # One Session = one persistent solver for the whole budget sweep;
+    # the final query *raises* the budget, growing the encoding in
+    # place (no re-encode) on the very same solver.
+    need = result.num_colors
+    with Session(graph) as session:
+        for budget in (need - 1, need, need + 1):
+            feasible = session.decide(budget)
+            verdict = "fits" if feasible.status == "SAT" else "does NOT fit"
+            print(f"budget of {budget} registers: {verdict}")
+        print(f"(all {len(session.queries)} budget checks shared "
+              f"{session.solvers_created} persistent solver; "
+              f"encoded horizon grew to {session.budget} colors)")
 
 
 if __name__ == "__main__":

@@ -12,18 +12,36 @@ The package is organized bottom-up:
 * :mod:`repro.symmetry` — automorphism detection and group machinery
 * :mod:`repro.sbp`      — symmetry-breaking predicate constructions
 * :mod:`repro.coloring` — the paper's coloring pipeline
+* :mod:`repro.api`      — the composable public API (problems,
+  pipelines, backend registry, sessions)
 * :mod:`repro.experiments` — drivers regenerating every table/figure
 
 Quickstart::
 
+    from repro.api import ChromaticProblem, Pipeline
     from repro.graphs import queens_graph
-    from repro.coloring import solve_coloring
 
-    result = solve_coloring(queens_graph(5, 5), num_colors=7,
-                            sbp_kind="nu+sc", solver="pbs2")
-    assert result.status == "OPTIMAL" and result.num_colors == 5
+    result = (Pipeline()
+              .symmetry(sbp_kind="nu+sc")
+              .solve(backend="pb-pbs2")
+              .run(ChromaticProblem(queens_graph(5, 5))))
+    assert result.status == "OPTIMAL" and result.chromatic_number == 5
+
+The historical one-call entry points ``solve_coloring`` and
+``find_chromatic_number`` remain as deprecation shims over the API.
 """
 
+from . import api
+from .api import (
+    BudgetedOptimize,
+    ChromaticProblem,
+    DecisionProblem,
+    Pipeline,
+    PipelineConfig,
+    Result,
+    Session,
+    available_backends,
+)
 from .coloring import (
     ColoringSolveResult,
     exact_chromatic_number,
@@ -35,13 +53,22 @@ from .graphs import Graph
 from .sbp import apply_sbp
 from .symmetry import detect_symmetries
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BudgetedOptimize",
+    "ChromaticProblem",
     "ColoringSolveResult",
+    "DecisionProblem",
     "Formula",
     "Graph",
+    "Pipeline",
+    "PipelineConfig",
+    "Result",
+    "Session",
+    "api",
     "apply_sbp",
+    "available_backends",
     "detect_symmetries",
     "exact_chromatic_number",
     "find_chromatic_number",

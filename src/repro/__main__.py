@@ -9,19 +9,19 @@ Usage::
         [--no-incremental] [--sbp nu] [--time-limit 60]
     python -m repro stats graph.col
     python -m repro detect graph.col --k 8
+    python -m repro backends
 
-``color`` runs the paper's full pipeline on a file — kernelization
-(low-degree peeling + component split) before encoding and CNF
-simplification after encoding are on by default, disable them with
-``--no-reduce`` / ``--no-preprocess``; binary-search solver profiles
-run all probes on one persistent incremental solver unless
-``--no-incremental`` is given.  ``chromatic`` runs the pure-CNF
-repeated-SAT K-search (the paper's Section 4.1 descent); by default the
-whole descent shares one persistent solver with per-color activation
-literals — ``--no-incremental`` restores one fresh SAT instance per K
-query.  ``stats`` prints graph statistics and heuristic bounds;
-``detect`` reports the symmetry statistics of the encoded instance (a
-one-instance Table 2 row).
+Every solving command runs through :mod:`repro.api`: the arguments
+build a :class:`~repro.api.Pipeline` (stage configs + backend name)
+and the command submits the matching problem value object.  ``color``
+minimizes used colors within a budget (``BudgetedOptimize``) on a 0-1
+ILP backend; ``chromatic`` computes the chromatic number
+(``ChromaticProblem``) on the pure-CNF descent backends —
+``cdcl-incremental`` (one persistent solver, the default) or
+``cdcl-scratch`` (``--no-incremental``).  ``stats`` prints graph
+statistics and heuristic bounds; ``detect`` reports the symmetry
+statistics of the encoded instance; ``backends`` lists the registered
+backend table.
 """
 
 from __future__ import annotations
@@ -29,9 +29,14 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .api import (
+    BudgetedOptimize,
+    ChromaticProblem,
+    Pipeline,
+    available_backends,
+)
 from .coloring.encoding import encode_coloring
-from .coloring.sat_pipeline import chromatic_number_sat
-from .coloring.solve import SOLVER_NAMES, solve_coloring
+from .coloring.solve import SOLVER_NAMES
 from .graphs.cliques import clique_lower_bound
 from .graphs.coloring_heuristics import dsatur
 from .graphs.dimacs import read_dimacs_graph
@@ -58,22 +63,33 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _pipeline_from_args(args, backend: str) -> Pipeline:
+    """The shared argument -> Pipeline translation of the solve commands."""
+    return (
+        Pipeline()
+        .reduce(args.reduce)
+        .encode(amo=getattr(args, "amo", "pairwise"))
+        .symmetry(
+            sbp_kind=args.sbp,
+            instance_dependent=getattr(args, "instance_dependent", False),
+        )
+        .simplify(args.preprocess)
+        .solve(
+            backend=backend,
+            time_limit=args.time_limit,
+            incremental=getattr(args, "incremental", True),
+            strategy=getattr(args, "strategy", None),
+        )
+    )
+
+
 def cmd_color(args) -> int:
     graph = _load(args.graph)
     k = args.k
     if k is None:
         _, k = dsatur(graph)
-    result = solve_coloring(
-        graph,
-        k,
-        solver=args.solver,
-        sbp_kind=args.sbp,
-        instance_dependent=args.instance_dependent,
-        time_limit=args.time_limit,
-        preprocess=args.preprocess,
-        reduce=args.reduce,
-        incremental=args.incremental,
-    )
+    pipeline = _pipeline_from_args(args, backend=args.solver)
+    result = pipeline.run(BudgetedOptimize(graph, k))
     print(f"status:           {result.status}")
     if result.num_colors is not None:
         print(f"colors used:      {result.num_colors}")
@@ -101,27 +117,20 @@ def cmd_color(args) -> int:
 
 def cmd_chromatic(args) -> int:
     graph = _load(args.graph)
-    result = chromatic_number_sat(
-        graph,
-        strategy=args.strategy,
-        time_limit=args.time_limit,
-        amo_encoding=args.amo,
-        sbp_kind=args.sbp,
-        preprocess=args.preprocess,
-        reduce=args.reduce,
-        incremental=args.incremental,
-    )
+    backend = "cdcl-incremental" if args.incremental else "cdcl-scratch"
+    pipeline = _pipeline_from_args(args, backend=backend)
+    result = pipeline.run(ChromaticProblem(graph))
     print(f"status:           {result.status}")
     print(f"chromatic number: {result.chromatic_number}"
           + ("" if result.status == "OPTIMAL" else " (upper bound; not proved)"))
-    mode = "incremental (1 persistent solver)" if result.incremental else \
+    mode = "incremental (1 persistent solver)" if args.incremental else \
         f"scratch ({result.solvers_created} fresh solvers)"
     print(f"search:           {args.strategy}, {mode}")
-    trace = ", ".join(f"K={k}:{status}" for k, status in result.k_queries) or "(bounds met)"
-    print(f"K queries:        {result.sat_calls}  [{trace}]")
+    trace = ", ".join(f"K={k}:{status}" for k, status in result.queries) or "(bounds met)"
+    print(f"K queries:        {len(result.queries)}  [{trace}]")
     print(f"conflicts:        {result.stats.conflicts}")
     print(f"propagations:     {result.stats.propagations}")
-    print(f"time:             {result.time_seconds:.2f}s")
+    print(f"time:             {result.total_seconds:.2f}s")
     if result.coloring and args.show_coloring:
         for v in sorted(result.coloring):
             print(f"  vertex {v + 1}: color {result.coloring[v]}")
@@ -139,6 +148,15 @@ def cmd_detect(args) -> int:
     print(f"generators:  {report.num_generators}")
     print(f"detection:   {report.detection_seconds:.2f}s "
           f"({'complete' if report.complete else 'budget hit'})")
+    return 0
+
+
+def cmd_backends(args) -> int:
+    print(f"{'name':18s} {'problems':34s} description")
+    for name, backend in available_backends().items():
+        kinds = ",".join(backend.supports)
+        persistent = " [persistent]" if backend.persistent else ""
+        print(f"{name:18s} {kinds:34s} {backend.description}{persistent}")
     return 0
 
 
@@ -203,9 +221,9 @@ def main(argv=None) -> int:
              "incremental path, per query on the scratch path)")
     p_chrom.add_argument(
         "--incremental", default=True, action=argparse.BooleanOptionalAction,
-        help="drive the whole K descent through one persistent solver via "
-             "per-color activation literals (default); --no-incremental "
-             "re-encodes and re-solves from scratch at every K")
+        help="drive the whole K descent through one persistent solver "
+             "(the cdcl-incremental backend); --no-incremental selects "
+             "cdcl-scratch, one fresh solver per K query")
     p_chrom.set_defaults(func=cmd_chromatic)
 
     p_detect = sub.add_parser("detect", help="symmetry statistics of the encoding")
@@ -214,6 +232,10 @@ def main(argv=None) -> int:
     p_detect.add_argument("--sbp", default="none", choices=SBP_KINDS)
     p_detect.add_argument("--node-limit", type=int, default=100000)
     p_detect.set_defaults(func=cmd_detect)
+
+    p_backends = sub.add_parser(
+        "backends", help="list the registered solve backends")
+    p_backends.set_defaults(func=cmd_backends)
 
     args = parser.parse_args(argv)
     return args.func(args)

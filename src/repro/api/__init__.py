@@ -1,0 +1,104 @@
+"""repro.api — the composable public API over the whole solve stack.
+
+One import gives the four concepts every workload composes from:
+
+* **Problems** — immutable value objects saying *what* to solve:
+  :class:`DecisionProblem`, :class:`ChromaticProblem`,
+  :class:`BudgetedOptimize`.
+* **Pipeline** — a validated, reorderable stage chain (reduce → encode
+  → sbp → simplify → detect → solve) with one small config dataclass
+  per stage, replacing the historical kwarg soup.
+* **Backends** — named engines behind a registry
+  (``pb-pbs2``/``pb-galena``/``pb-pueblo``, ``cplex-bb``,
+  ``cdcl-incremental``, ``cdcl-scratch``, ``brute``, ``exact-dsatur``);
+  new engines plug in via :func:`register_backend` without touching
+  call sites.
+* **Session** — many queries on one graph sharing one persistent
+  solver, including raising the color budget in place.
+
+Quickstart::
+
+    from repro.api import ChromaticProblem, Pipeline
+    from repro.graphs import queens_graph
+
+    result = (Pipeline()
+              .symmetry(sbp_kind="nu+sc")
+              .solve(backend="pb-pbs2", time_limit=60)
+              .run(ChromaticProblem(queens_graph(5, 5))))
+    assert result.status == "OPTIMAL" and result.chromatic_number == 5
+
+Multi-query session (one persistent solver, budget raised in place)::
+
+    from repro.api import Session
+
+    with Session(graph) as session:
+        session.decide(5)          # encodes once at K=5
+        session.decide(4)          # assumption query, same solver
+        session.raise_budget(7)    # adds color groups 6..7 in place
+        session.decide(7)          # still the same solver
+"""
+
+from .backends import (
+    Backend,
+    available_backends,
+    get_backend,
+    known_backend_names,
+    register_backend,
+    resolve_backend_name,
+)
+from .config import (
+    DEFAULT_STAGE_ORDER,
+    EncodeConfig,
+    PipelineConfig,
+    ReduceConfig,
+    SHATTER_STAGE_ORDER,
+    SimplifyConfig,
+    SolveConfig,
+    SymmetryConfig,
+)
+from .pipeline import Pipeline, solve_problem
+from .problems import (
+    BudgetedOptimize,
+    ChromaticProblem,
+    DecisionProblem,
+    PROBLEM_KINDS,
+    Problem,
+)
+from .results import (
+    ProgressEvent,
+    Provenance,
+    Result,
+    RunContext,
+    StageStat,
+)
+from .session import Session
+
+__all__ = [
+    "Backend",
+    "BudgetedOptimize",
+    "ChromaticProblem",
+    "DEFAULT_STAGE_ORDER",
+    "DecisionProblem",
+    "EncodeConfig",
+    "PROBLEM_KINDS",
+    "Pipeline",
+    "PipelineConfig",
+    "Problem",
+    "ProgressEvent",
+    "Provenance",
+    "ReduceConfig",
+    "Result",
+    "RunContext",
+    "SHATTER_STAGE_ORDER",
+    "Session",
+    "SimplifyConfig",
+    "SolveConfig",
+    "StageStat",
+    "SymmetryConfig",
+    "available_backends",
+    "get_backend",
+    "known_backend_names",
+    "register_backend",
+    "resolve_backend_name",
+    "solve_problem",
+]

@@ -1,0 +1,463 @@
+"""The :class:`Backend` protocol and the backend registry.
+
+A backend is a named solving engine that answers API problems.  New
+engines plug in by subclassing :class:`Backend` and calling
+:func:`register_backend` — no call site changes.  Lookup is by name
+(or alias) and a bad name raises ``ValueError`` listing the registered
+choices, at the API boundary instead of a deep ``KeyError``.
+
+Registered engines:
+
+=================  =========================================================
+``pb-pbs2``        PBS II profile of the CDCL+PB engine (alias ``pbs2``)
+``pb-galena``      Galena profile (alias ``galena``)
+``pb-pueblo``      Pueblo profile, binary-search optimization (alias
+                   ``pueblo``)
+``cplex-bb``       generic LP-based branch and bound (CPLEX stand-in)
+``cdcl-incremental``  pure-CNF CDCL; chromatic descents run on one
+                   persistent solver with per-color activation literals
+``cdcl-scratch``   pure-CNF CDCL, one fresh solver per K query
+``brute``          exhaustive enumeration (tiny instances; the oracle)
+``exact-dsatur``   DSATUR branch and bound (problem-specific baseline)
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..coloring.exact_dsatur import exact_chromatic_number
+from ..coloring.sat_pipeline import chromatic_number_sat, sat_k_colorable
+from ..ilp.branch_and_bound import BranchAndBoundSolver
+from ..pb.optimizer import minimize
+from ..pb.presets import get_preset
+from ..sat.brute import MAX_BRUTE_VARS, brute_force_solve
+from ..sat.result import (
+    OPTIMAL,
+    SAT,
+    SolveResult,
+    SolverStats,
+    UNKNOWN,
+    UNSAT,
+)
+from ..sbp.instance_independent import SBP_KINDS
+from .config import PipelineConfig
+from .pipeline import (
+    _trivial_result,
+    _infeasible_budget,
+    run_chromatic_via_budget,
+    run_optimize_flow,
+)
+from .problems import BUDGETED, CHROMATIC, DECISION, DecisionProblem, Problem
+from .results import Result, RunContext, StageStat
+
+# The CNF route supports the clause-expressible SBP subset only.
+CNF_SBP_KINDS = ("none", "nu", "sc", "nu+sc")
+
+
+class Backend(abc.ABC):
+    """A named engine answering coloring problems.
+
+    Subclasses declare which problem kinds they ``supports`` and which
+    instance-independent SBP constructions they accept, and implement
+    :meth:`run`.  ``persistent`` advertises whether multi-query searches
+    reuse one solver (the incremental engines).
+    """
+
+    name: str = ""
+    description: str = ""
+    supports: Tuple[str, ...] = (DECISION, CHROMATIC, BUDGETED)
+    sbp_kinds: Tuple[str, ...] = SBP_KINDS
+    persistent: bool = False
+
+    def validate(self, problem: Problem, config: PipelineConfig) -> None:
+        """Fail fast on unsupported problem kinds / SBP constructions."""
+        if problem.kind not in self.supports:
+            raise ValueError(
+                f"backend {self.name!r} does not answer {problem.kind!r} "
+                f"problems; it supports {self.supports}"
+            )
+        if config.symmetry.sbp_kind not in self.sbp_kinds:
+            raise ValueError(
+                f"backend {self.name!r} supports sbp_kind in {self.sbp_kinds}, "
+                f"got {config.symmetry.sbp_kind!r}"
+            )
+
+    @abc.abstractmethod
+    def run(self, problem: Problem, config: PipelineConfig, ctx: RunContext) -> Result:
+        """Answer ``problem`` under ``config``; never raises for UNSAT."""
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Backend] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_backend(backend: Backend, aliases: Iterable[str] = ()) -> Backend:
+    """Register ``backend`` under its name (and ``aliases``)."""
+    if not backend.name:
+        raise ValueError("backend must have a non-empty name")
+    _REGISTRY[backend.name] = backend
+    for alias in aliases:
+        _ALIASES[alias] = backend.name
+    return backend
+
+
+def known_backend_names() -> Tuple[str, ...]:
+    """Every accepted backend name (canonical names + aliases), sorted."""
+    return tuple(sorted(set(_REGISTRY) | set(_ALIASES)))
+
+
+def resolve_backend_name(name: str) -> str:
+    """Canonical name for ``name``; ``ValueError`` naming the choices."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _REGISTRY:
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{tuple(sorted(_REGISTRY))} (aliases: {dict(sorted(_ALIASES.items()))})"
+        )
+    return canonical
+
+
+def check_backend_name(name: str) -> None:
+    """Eager-validation hook used by ``SolveConfig``."""
+    resolve_backend_name(name)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name or alias (``ValueError`` if unknown)."""
+    return _REGISTRY[resolve_backend_name(name)]
+
+
+def available_backends() -> Dict[str, Backend]:
+    """Canonical name -> backend, for registry listings."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+# --------------------------------------------------------------------------
+# 0-1 ILP backends (the paper's solvers) on the staged pipeline flow.
+# --------------------------------------------------------------------------
+
+
+class _OptimizeFlowBackend(Backend):
+    """Shared dispatch for backends that ride the staged 0-1 ILP flow."""
+
+    def run(self, problem: Problem, config: PipelineConfig, ctx: RunContext) -> Result:
+        trivial = _trivial_result(problem.kind, problem.graph)
+        if trivial is not None:
+            return trivial
+        if problem.kind == DECISION:
+            if problem.k <= 0:
+                return _infeasible_budget(problem.graph, problem.k, config)
+            return run_optimize_flow(
+                problem.graph, problem.k, config, ctx, self, decision=True
+            )
+        if problem.kind == BUDGETED:
+            return run_optimize_flow(
+                problem.graph, problem.max_colors, config, ctx, self
+            )
+        return run_chromatic_via_budget(
+            problem.graph, problem.max_colors, config, ctx, self
+        )
+
+    def minimize(self, formula, time_limit, conflict_limit, upper, lower, incremental):
+        raise NotImplementedError
+
+    def decide(self, formula, time_limit, conflict_limit) -> SolveResult:
+        raise NotImplementedError
+
+
+class PBPresetBackend(_OptimizeFlowBackend):
+    """One behavioural profile of the CDCL+PB engine (PBS II / Galena /
+    Pueblo), minimizing used colors per the preset's strategy."""
+
+    def __init__(self, canonical_name: str, preset_name: str):
+        self.name = canonical_name
+        self.preset = get_preset(preset_name)
+        self.persistent = True  # bound probes share one persistent solver
+        self.description = self.preset.description
+
+    def minimize(self, formula, time_limit, conflict_limit, upper, lower, incremental):
+        return minimize(
+            formula,
+            strategy=self.preset.optimization_strategy,
+            solver_factory=self.preset.solver_factory(),
+            time_limit=time_limit,
+            conflict_limit=conflict_limit,
+            upper_bound_hint=upper,
+            lower_bound=lower,
+            incremental=incremental,
+        )
+
+    def decide(self, formula, time_limit, conflict_limit) -> SolveResult:
+        solver = self.preset.make_solver(formula.num_vars)
+        if not solver.add_formula(formula):
+            return SolveResult(UNSAT)
+        return solver.solve(time_limit=time_limit, conflict_limit=conflict_limit)
+
+
+class BranchAndBoundBackend(_OptimizeFlowBackend):
+    """Generic LP-based branch and bound (the paper's CPLEX role)."""
+
+    name = "cplex-bb"
+    description = "LP-relaxation branch and bound standing in for CPLEX"
+
+    def minimize(self, formula, time_limit, conflict_limit, upper, lower, incremental):
+        return BranchAndBoundSolver().optimize(formula, time_limit=time_limit)
+
+    def decide(self, formula, time_limit, conflict_limit) -> SolveResult:
+        result = BranchAndBoundSolver().optimize(formula, time_limit=time_limit)
+        if result.status in (OPTIMAL, SAT) and result.best_model is not None:
+            return SolveResult(SAT, model=result.best_model, stats=result.stats)
+        return SolveResult(result.status, stats=result.stats)
+
+
+# --------------------------------------------------------------------------
+# Pure-CNF CDCL backends (the repeated-SAT route).
+# --------------------------------------------------------------------------
+
+
+class CdclBackend(Backend):
+    """Clause-only CDCL: decision queries and chromatic descents.
+
+    ``cdcl-incremental`` drives chromatic descents through one
+    persistent solver with per-color activation literals (learned
+    clauses, phases and activity carry over between K queries);
+    ``cdcl-scratch`` re-encodes and re-solves from scratch at every K
+    (the historical behaviour, kept for measurement).  One-shot decision
+    queries are identical between the two — reuse across *multiple*
+    queries is what :class:`repro.api.Session` exists for.
+    """
+
+    supports = (DECISION, CHROMATIC)
+    sbp_kinds = CNF_SBP_KINDS
+
+    def __init__(self, canonical_name: str, incremental: bool):
+        self.name = canonical_name
+        self.incremental = incremental
+        self.persistent = incremental
+        self.description = (
+            "CNF CDCL; persistent-solver K descent" if incremental
+            else "CNF CDCL; fresh solver per K query"
+        )
+
+    def run(self, problem: Problem, config: PipelineConfig, ctx: RunContext) -> Result:
+        trivial = _trivial_result(problem.kind, problem.graph)
+        if trivial is not None:
+            return trivial
+        if problem.kind == DECISION:
+            return self._decide(problem, config, ctx)
+        return self._chromatic(problem, config, ctx)
+
+    def _decide(self, problem, config: PipelineConfig, ctx: RunContext) -> Result:
+        if ctx.cancelled():
+            return Result(status=UNKNOWN, cancelled=True)
+        ctx.emit("solve", f"deciding {problem.k}-colorability", k=problem.k)
+        stats = SolverStats()
+        t0 = time.monotonic()
+        status, coloring = sat_k_colorable(
+            problem.graph,
+            problem.k,
+            time_limit=config.solve.time_limit,
+            amo_encoding=config.encode.amo,
+            sbp_kind=config.symmetry.sbp_kind,
+            preprocess=config.simplify.enabled,
+            reduce=config.reduce.enabled,
+            stats=stats,
+        )
+        seconds = time.monotonic() - t0
+        return Result(
+            status=status,
+            num_colors=len(set(coloring.values())) if coloring else None,
+            coloring=coloring,
+            stages=[StageStat("solve", seconds, {"status": status})],
+            stats=stats,
+            queries=[(problem.k, status)],
+            solvers_created=1,
+        )
+
+    def _chromatic(self, problem, config: PipelineConfig, ctx: RunContext) -> Result:
+        strategy = config.solve.strategy or "linear"
+        probe = None
+        if problem.max_colors is not None:
+            # Settle the cap with a single decision probe before paying
+            # for the descent: UNSAT at the cap proves infeasibility
+            # cheaply, SAT guarantees the descent lands within it.
+            probe = self._decide(
+                DecisionProblem(problem.graph, problem.max_colors), config, ctx
+            )
+            if probe.status != SAT:
+                return probe
+        ctx.emit("solve", f"{strategy} K descent ({self.name})")
+        t0 = time.monotonic()
+        sat_result = chromatic_number_sat(
+            problem.graph,
+            strategy=strategy,
+            time_limit=config.solve.time_limit,
+            amo_encoding=config.encode.amo,
+            sbp_kind=config.symmetry.sbp_kind,
+            preprocess=config.simplify.enabled,
+            reduce=config.reduce.enabled,
+            incremental=self.incremental,
+            should_stop=ctx.cancelled if ctx.cancel else None,
+        )
+        seconds = time.monotonic() - t0
+        result = Result(
+            status=sat_result.status,
+            num_colors=sat_result.chromatic_number,
+            coloring=sat_result.coloring,
+            stages=[StageStat(
+                "solve", seconds,
+                {"strategy": strategy, "sat_calls": sat_result.sat_calls},
+            )],
+            stats=sat_result.stats,
+            queries=list(sat_result.k_queries),
+            solvers_created=sat_result.solvers_created,
+            cancelled=ctx.cancelled(),
+        )
+        if probe is not None:
+            # Account the cap-feasibility probe in the trace.
+            result.queries = list(probe.queries) + result.queries
+            result.solvers_created += probe.solvers_created
+            result.stats.merge(probe.stats)
+            result.stages = list(probe.stages) + result.stages
+        return result
+
+
+# --------------------------------------------------------------------------
+# Reference baselines.
+# --------------------------------------------------------------------------
+
+
+class BruteForceBackend(Backend):
+    """Exhaustive enumeration over the CNF encoding — the oracle for
+    tiny instances (raises ``ValueError`` beyond ~22 variables)."""
+
+    name = "brute"
+    description = "exhaustive enumeration oracle (tiny instances only)"
+    supports = (DECISION, CHROMATIC)
+    sbp_kinds = ("none",)
+
+    def run(self, problem: Problem, config: PipelineConfig, ctx: RunContext) -> Result:
+        trivial = _trivial_result(problem.kind, problem.graph)
+        if trivial is not None:
+            return trivial
+        if problem.kind == DECISION:
+            status, coloring, seconds = self._decide_k(problem.graph, problem.k)
+            return Result(
+                status=status,
+                num_colors=len(set(coloring.values())) if coloring else None,
+                coloring=coloring,
+                stages=[StageStat("solve", seconds)],
+                queries=[(problem.k, status)],
+                solvers_created=1,
+            )
+        queries = []
+        stages = []
+        cap = problem.max_colors
+        if cap is not None and cap <= 0:
+            return _infeasible_budget(problem.graph, cap, config)
+        upper = problem.graph.num_vertices if cap is None else min(cap, problem.graph.num_vertices)
+        solvers = 0
+        for k in range(1, upper + 1):
+            if ctx.cancelled():
+                return Result(status=UNKNOWN, stages=stages, queries=queries,
+                              cancelled=True, solvers_created=solvers)
+            ctx.emit("solve", f"brute-force {k}-colorability", k=k)
+            status, coloring, seconds = self._decide_k(problem.graph, k)
+            queries.append((k, status))
+            stages.append(StageStat("solve", seconds, {"k": k}))
+            solvers += 1
+            if status == SAT:
+                return Result(
+                    status=OPTIMAL,
+                    num_colors=len(set(coloring.values())),
+                    coloring=coloring,
+                    stages=stages,
+                    queries=queries,
+                    solvers_created=solvers,
+                )
+        return Result(status=UNSAT, stages=stages, queries=queries,
+                      solvers_created=solvers)
+
+    @staticmethod
+    def _decide_k(graph, k):
+        from ..coloring.sat_pipeline import encode_k_coloring_cnf
+
+        t0 = time.monotonic()
+        if k <= 0:
+            status = UNSAT if graph.num_vertices else SAT
+            return status, ({} if not graph.num_vertices else None), time.monotonic() - t0
+        formula, x = encode_k_coloring_cnf(graph, k)
+        if formula.num_vars > MAX_BRUTE_VARS:
+            raise ValueError(
+                f"brute backend needs <= {MAX_BRUTE_VARS} encoding variables, "
+                f"got {formula.num_vars} (use a CDCL or PB backend)"
+            )
+        result = brute_force_solve(formula)
+        coloring = None
+        if result.is_sat:
+            coloring = {}
+            for v in range(graph.num_vertices):
+                for c in range(1, k + 1):
+                    if result.model[x[(v, c)]]:
+                        coloring[v] = c
+                        break
+        return result.status, coloring, time.monotonic() - t0
+
+
+class ExactDSaturBackend(Backend):
+    """DSATUR-style branch and bound — the problem-specific baseline of
+    the exact-coloring literature (no formula pipeline at all)."""
+
+    name = "exact-dsatur"
+    description = "DSATUR branch and bound (problem-specific baseline)"
+    supports = (DECISION, CHROMATIC)
+    sbp_kinds = ("none",)
+
+    def run(self, problem: Problem, config: PipelineConfig, ctx: RunContext) -> Result:
+        trivial = _trivial_result(problem.kind, problem.graph)
+        if trivial is not None:
+            return trivial
+        ctx.emit("solve", "DSATUR branch and bound")
+        t0 = time.monotonic()
+        bb = exact_chromatic_number(problem.graph, time_limit=config.solve.time_limit)
+        seconds = time.monotonic() - t0
+        stages = [StageStat("solve", seconds, {"nodes": bb.nodes_explored})]
+        chi = bb.chromatic_number
+        if problem.kind == DECISION:
+            if chi is not None and chi <= problem.k:
+                coloring = bb.coloring
+                return Result(status=SAT, num_colors=chi, coloring=coloring,
+                              stages=stages, solvers_created=1)
+            if bb.optimal:
+                return Result(status=UNSAT, stages=stages, solvers_created=1)
+            return Result(status=UNKNOWN, stages=stages, solvers_created=1)
+        cap = problem.max_colors
+        if cap is not None and chi is not None and chi > cap:
+            status = UNSAT if bb.optimal else UNKNOWN
+            return Result(status=status, stages=stages, solvers_created=1)
+        status = OPTIMAL if bb.optimal else (SAT if chi is not None else UNKNOWN)
+        return Result(
+            status=status, num_colors=chi, coloring=bb.coloring,
+            stages=stages, solvers_created=1,
+        )
+
+
+# --------------------------------------------------------------------------
+# Registration (import side effect of the api package).
+# --------------------------------------------------------------------------
+
+register_backend(PBPresetBackend("pb-pbs2", "pbs2"), aliases=("pbs2",))
+register_backend(PBPresetBackend("pb-galena", "galena"), aliases=("galena",))
+register_backend(PBPresetBackend("pb-pueblo", "pueblo"), aliases=("pueblo",))
+register_backend(BranchAndBoundBackend())
+register_backend(CdclBackend("cdcl-incremental", incremental=True))
+register_backend(CdclBackend("cdcl-scratch", incremental=False))
+register_backend(BruteForceBackend())
+register_backend(ExactDSaturBackend())

@@ -1,0 +1,152 @@
+"""Pipeline configuration: one dataclass per stage, validated eagerly.
+
+The old entry points took 10+ loosely-typed kwargs and surfaced a bad
+solver or SBP name as a ``KeyError`` deep inside the preset tables.
+Here every stage of the pipeline — reduce, encode, sbp, simplify,
+detect, solve — has its own small config dataclass, and every name is
+checked at *construction* time with a ``ValueError`` naming the
+registered choices.
+
+The stage order itself is explicit and reorderable: the default runs
+symmetry detection *after* clause simplification (the cheaper order —
+detection canonicalizes the smaller formula), while
+``("reduce", "encode", "sbp", "detect", "simplify", "solve")`` restores
+the historical Shatter flow.  ``reduce``/``encode`` must stay first
+(they produce the graph kernel and the formula the later stages
+transform) and ``solve`` last; the middle stages permute freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..sbp.instance_independent import SBP_KINDS
+
+AMO_ENCODINGS = ("pairwise", "sequential")
+SEARCH_STRATEGIES = ("linear", "binary")
+
+STAGES = ("reduce", "encode", "sbp", "simplify", "detect", "solve")
+DEFAULT_STAGE_ORDER: Tuple[str, ...] = STAGES
+SHATTER_STAGE_ORDER: Tuple[str, ...] = (
+    "reduce", "encode", "sbp", "detect", "simplify", "solve",
+)
+
+
+def _check_choice(value: str, choices, what: str) -> None:
+    if value not in choices:
+        raise ValueError(
+            f"unknown {what} {value!r}; registered choices: {tuple(choices)}"
+        )
+
+
+@dataclass(frozen=True)
+class ReduceConfig:
+    """Graph kernelization before encoding: low-degree peeling at the
+    clique bound plus connected-component splitting."""
+
+    enabled: bool = True
+
+
+@dataclass(frozen=True)
+class EncodeConfig:
+    """How constraints are compiled.  ``amo`` selects the at-most-one
+    encoding on the pure-CNF route (the 0-1 ILP route uses native
+    exactly-one PB constraints and ignores it)."""
+
+    amo: str = "pairwise"
+
+    def __post_init__(self):
+        _check_choice(self.amo, AMO_ENCODINGS, "at-most-one encoding")
+
+
+@dataclass(frozen=True)
+class SymmetryConfig:
+    """Symmetry breaking: the paper's instance-independent constructions
+    (``sbp_kind``) and optional instance-dependent detection + lex-leader
+    predicates (``instance_dependent``)."""
+
+    sbp_kind: str = "none"
+    instance_dependent: bool = False
+    detection_node_limit: Optional[int] = 50000
+
+    def __post_init__(self):
+        _check_choice(self.sbp_kind, SBP_KINDS, "SBP kind")
+
+
+@dataclass(frozen=True)
+class SimplifyConfig:
+    """Model-preserving clause-database simplification after encoding."""
+
+    enabled: bool = True
+
+
+@dataclass(frozen=True)
+class SolveConfig:
+    """Which engine answers the query, and its resource budget."""
+
+    backend: str = "pb-pbs2"
+    strategy: Optional[str] = None  # None = the backend's default
+    time_limit: Optional[float] = None
+    conflict_limit: Optional[int] = None
+    incremental: bool = True
+    use_bounds: bool = True
+
+    def __post_init__(self):
+        if self.strategy is not None:
+            _check_choice(self.strategy, SEARCH_STRATEGIES, "search strategy")
+        # Imported lazily: the backend registry imports this module.
+        from .backends import check_backend_name
+
+        check_backend_name(self.backend)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """The full pipeline: one config per stage plus the stage order."""
+
+    reduce: ReduceConfig = field(default_factory=ReduceConfig)
+    encode: EncodeConfig = field(default_factory=EncodeConfig)
+    symmetry: SymmetryConfig = field(default_factory=SymmetryConfig)
+    simplify: SimplifyConfig = field(default_factory=SimplifyConfig)
+    solve: SolveConfig = field(default_factory=SolveConfig)
+    order: Tuple[str, ...] = DEFAULT_STAGE_ORDER
+
+    def __post_init__(self):
+        order = tuple(self.order)
+        object.__setattr__(self, "order", order)
+        if sorted(order) != sorted(STAGES):
+            raise ValueError(
+                f"stage order must be a permutation of {STAGES}, got {order}"
+            )
+        if order[0] != "reduce" or order[1] != "encode" or order[-1] != "solve":
+            raise ValueError(
+                "stage order must start with ('reduce', 'encode') and end "
+                f"with 'solve' (the middle stages permute freely), got {order}"
+            )
+
+    def formula_stages(self) -> Tuple[str, ...]:
+        """The stages between encoding and solving, in execution order."""
+        return tuple(s for s in self.order if s in ("sbp", "simplify", "detect"))
+
+    def with_stage(self, **stage_configs) -> "PipelineConfig":
+        """Copy with the named stage configs replaced."""
+        return replace(self, **stage_configs)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat provenance-friendly view of every knob."""
+        return {
+            "reduce": self.reduce.enabled,
+            "amo": self.encode.amo,
+            "sbp_kind": self.symmetry.sbp_kind,
+            "instance_dependent": self.symmetry.instance_dependent,
+            "detection_node_limit": self.symmetry.detection_node_limit,
+            "simplify": self.simplify.enabled,
+            "backend": self.solve.backend,
+            "strategy": self.solve.strategy,
+            "time_limit": self.solve.time_limit,
+            "conflict_limit": self.solve.conflict_limit,
+            "incremental": self.solve.incremental,
+            "use_bounds": self.solve.use_bounds,
+            "order": self.order,
+        }

@@ -1,0 +1,513 @@
+"""The :class:`Pipeline` builder and the staged execution engine.
+
+A pipeline is a validated :class:`~repro.api.config.PipelineConfig`
+plus a fluent builder over it.  ``Pipeline().symmetry(sbp_kind="nu+sc")
+.solve(backend="pb-pbs2", time_limit=60).run(problem)`` replaces the
+old 10-kwarg entry points; every stage is explicit, individually
+configurable and (for the formula stages) reorderable.
+
+:func:`run_optimize_flow` is the staged interpreter behind every
+0-1-ILP backend: it executes ``reduce`` (kernelization + component
+split, recursing per component), ``encode``, then the configured
+permutation of ``sbp`` / ``simplify`` / ``detect``, then hands the
+prepared formula to the backend's solve hook — recording one
+:class:`~repro.api.results.StageStat` per stage and honouring the run
+context's cancellation between stages.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from ..coloring.encoding import (
+    ColoringEncoding,
+    decode_coloring,
+    encode_coloring,
+    normalize_coloring,
+)
+from ..coloring.reduce import extend_coloring, peel_low_degree
+from ..coloring.solve import PipelineInfo
+from ..coloring.verify import check_proper
+from ..graphs.analysis import connected_components
+from ..graphs.cliques import clique_lower_bound
+from ..graphs.coloring_heuristics import dsatur
+from ..graphs.graph import Graph
+from ..sat.preprocessing import SimplifyStats, simplify_formula
+from ..sat.result import OPTIMAL, SAT, UNKNOWN, UNSAT
+from ..sbp.lex_leader import add_symmetry_breaking_predicates
+from ..symmetry.detect import SymmetryReport, detect_symmetries
+from .config import (
+    DEFAULT_STAGE_ORDER,
+    PipelineConfig,
+    ReduceConfig,
+    SolveConfig,
+    SymmetryConfig,
+)
+from .problems import BUDGETED, CHROMATIC, DECISION, Problem
+from .results import Provenance, Result, RunContext, StageStat
+
+
+class Pipeline:
+    """Composable solve pipeline: configure stages, then ``run`` problems.
+
+    Builder methods return a *new* pipeline (configs are frozen), so
+    partial pipelines can be shared and specialized::
+
+        base = Pipeline().symmetry(sbp_kind="nu+sc")
+        fast = base.solve(backend="pb-pueblo", time_limit=10)
+        slow = base.solve(backend="cplex-bb", time_limit=600)
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None):
+        self._config = config if config is not None else PipelineConfig()
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self._config
+
+    def _replace(self, **kwargs) -> "Pipeline":
+        return Pipeline(replace(self._config, **kwargs))
+
+    def reduce(self, enabled: bool = True) -> "Pipeline":
+        """Toggle graph kernelization (peeling + component split)."""
+        return self._replace(reduce=ReduceConfig(enabled=enabled))
+
+    def encode(self, **kwargs) -> "Pipeline":
+        """Configure constraint compilation (``amo=...``)."""
+        return self._replace(encode=replace(self._config.encode, **kwargs))
+
+    def symmetry(self, **kwargs) -> "Pipeline":
+        """Configure symmetry breaking (``sbp_kind``,
+        ``instance_dependent``, ``detection_node_limit``)."""
+        return self._replace(symmetry=replace(self._config.symmetry, **kwargs))
+
+    def simplify(self, enabled: bool = True) -> "Pipeline":
+        """Toggle model-preserving clause simplification."""
+        return self._replace(simplify=replace(self._config.simplify, enabled=enabled))
+
+    def solve(self, **kwargs) -> "Pipeline":
+        """Configure the solve stage (``backend``, ``strategy``,
+        ``time_limit``, ``conflict_limit``, ``incremental``,
+        ``use_bounds``)."""
+        return self._replace(solve=replace(self._config.solve, **kwargs))
+
+    def stage_order(self, *order: str) -> "Pipeline":
+        """Reorder the stages (validated; see ``PipelineConfig``)."""
+        return self._replace(order=tuple(order))
+
+    def run(
+        self,
+        problem: Problem,
+        on_progress=None,
+        cancel=None,
+        detection_cache: Optional[Dict] = None,
+    ) -> Result:
+        """Execute the configured pipeline on ``problem``.
+
+        ``on_progress`` receives :class:`ProgressEvent` notifications at
+        stage transitions (and per K query where the backend supports
+        it); ``cancel`` is a zero-argument predicate polled between
+        stages and queries — when it turns true the run stops and the
+        best-so-far answer is returned with ``cancelled=True``.
+        """
+        from .backends import get_backend
+
+        backend = get_backend(self._config.solve.backend)
+        backend.validate(problem, self._config)
+        ctx = RunContext(
+            on_progress=on_progress, cancel=cancel, detection_cache=detection_cache
+        )
+        ctx.emit("pipeline", f"{problem.kind} on backend {backend.name}")
+        result = backend.run(problem, self._config, ctx)
+        result.provenance = Provenance(
+            problem=problem.kind,
+            backend=backend.name,
+            stage_order=self._config.order,
+            config=self._config.summary(),
+        )
+        return result
+
+
+def solve_problem(problem: Problem, config: Optional[PipelineConfig] = None, **run_kwargs) -> Result:
+    """One-call convenience: ``Pipeline(config).run(problem)``."""
+    return Pipeline(config).run(problem, **run_kwargs)
+
+
+# --------------------------------------------------------------------------
+# The staged interpreter behind the 0-1 ILP backends.
+# --------------------------------------------------------------------------
+
+
+def _trivial_result(problem_kind: str, graph: Graph) -> Optional[Result]:
+    """Empty-graph fast path shared by every flow (0 colors, optimal)."""
+    if graph.num_vertices:
+        return None
+    status = SAT if problem_kind == DECISION else OPTIMAL
+    return Result(status=status, num_colors=0, coloring={}, solvers_created=0)
+
+
+def _infeasible_budget(graph: Graph, budget: int, config: PipelineConfig) -> Result:
+    """A zero/too-small color budget on a non-empty graph is UNSAT."""
+    info = PipelineInfo(
+        preprocess=config.simplify.enabled,
+        reduce=config.reduce.enabled,
+        original_vertices=graph.num_vertices,
+        kernel_vertices=graph.num_vertices,
+    )
+    return Result(status=UNSAT, pipeline=info)
+
+
+def _cancelled_result(stages: List[StageStat], info: PipelineInfo) -> Result:
+    return Result(status=UNKNOWN, stages=stages, pipeline=info, cancelled=True)
+
+
+def _detect_and_break(
+    formula,
+    key,
+    node_limit: Optional[int],
+    cache: Optional[Dict],
+) -> SymmetryReport:
+    """Detect symmetries and append lex-leader SBPs (cached by key)."""
+    if cache is not None and key is not None and key in cache:
+        report = cache[key]
+    else:
+        report = detect_symmetries(formula, node_limit=node_limit, compute_order=False)
+        if cache is not None and key is not None:
+            cache[key] = report
+    add_symmetry_breaking_predicates(formula, report.generators)
+    return report
+
+
+def run_optimize_flow(
+    graph: Graph,
+    budget: int,
+    config: PipelineConfig,
+    ctx: RunContext,
+    engine,
+    decision: bool = False,
+) -> Result:
+    """Execute the staged 0-1 ILP flow on ``graph`` with ``budget`` colors.
+
+    ``engine`` supplies the solve stage: ``engine.minimize(formula,
+    time_limit, conflict_limit, upper, lower, incremental)`` returning an
+    :class:`OptimizeResult`, and ``engine.decide(formula, time_limit,
+    conflict_limit)`` returning a :class:`SolveResult` (used when
+    ``decision=True`` — satisfiability only, no objective tightening).
+    """
+    if budget <= 0:
+        return _infeasible_budget(graph, budget, config)
+    if config.reduce.enabled:
+        return _run_reduced(graph, budget, config, ctx, engine, decision)
+    return _run_formula_stages(graph, budget, config, ctx, engine, decision)
+
+
+def _run_reduced(
+    graph: Graph,
+    budget: int,
+    config: PipelineConfig,
+    ctx: RunContext,
+    engine,
+    decision: bool,
+) -> Result:
+    """The reduce stage: kernelize, run the rest per component, lift back.
+
+    Peeling at the clique lower bound ``lb`` is exact for optimization:
+    removing a vertex of degree < lb never changes ``max(chi, lb)``, so
+    ``chi(G) = max(chi(kernel), lb)``, and re-inserting peeled vertices
+    greedily stays inside that many colors.  For the decision problem,
+    peeling at ``min(lb, budget)`` preserves the answer.
+    """
+    start = time.monotonic()
+    ctx.emit("reduce", "kernelizing (peel + component split)")
+    info = PipelineInfo(
+        preprocess=config.simplify.enabled,
+        reduce=True,
+        original_vertices=graph.num_vertices,
+        kernel_vertices=graph.num_vertices,
+    )
+    lb = clique_lower_bound(graph)
+    if lb > budget:
+        stage = StageStat("reduce", time.monotonic() - start, {"clique_bound": lb})
+        return Result(status=UNSAT, stages=[stage], pipeline=info)
+    threshold = max(1, lb)
+    kernel = peel_low_degree(graph, threshold)
+    info.kernel_vertices = kernel.graph.num_vertices
+    info.peeled_vertices = graph.num_vertices - kernel.graph.num_vertices
+    info.simplify = SimplifyStats() if config.simplify.enabled else None
+    components = (
+        connected_components(kernel.graph) if kernel.graph.num_vertices else []
+    )
+    reduce_stage = StageStat(
+        "reduce",
+        time.monotonic() - start,
+        {
+            "clique_bound": lb,
+            "kernel_vertices": info.kernel_vertices,
+            "peeled_vertices": info.peeled_vertices,
+            "components": len(components),
+        },
+    )
+    stages: List[StageStat] = [reduce_stage]
+    sub_config = config.with_stage(reduce=ReduceConfig(enabled=False))
+    time_limit = config.solve.time_limit
+
+    merged = Result(status=OPTIMAL, stages=stages, pipeline=info)
+    kernel_coloring: Dict[int, int] = {}
+    for component in components:
+        if ctx.cancelled():
+            return _cancelled_result(stages, info)
+        remaining_cfg = sub_config
+        if time_limit is not None:
+            remaining = max(0.0, time_limit - (time.monotonic() - start))
+            remaining_cfg = sub_config.with_stage(
+                solve=replace(sub_config.solve, time_limit=remaining)
+            )
+        sub = kernel.graph.subgraph(component)
+        result = _run_formula_stages(sub, budget, remaining_cfg, ctx, engine, decision)
+        _merge_stage_times(stages, result.stages)
+        merged.stats.merge(result.stats)
+        merged.solvers_created += result.solvers_created
+        if result.pipeline and result.pipeline.simplify and info.simplify:
+            info.simplify.merge(result.pipeline.simplify)
+        if merged.detection is None:
+            merged.detection = result.detection
+        if result.status in (UNSAT, UNKNOWN):
+            merged.status = result.status
+            merged.cancelled = result.cancelled
+            return merged
+        if result.status == SAT and not decision:
+            merged.status = SAT  # feasible but optimality not proved
+        info.components_solved += 1
+        for local, color in normalize_coloring(result.coloring).items():
+            kernel_coloring[component[local]] = color
+    coloring = extend_coloring(kernel, kernel_coloring)
+    if coloring:
+        check_proper(graph, coloring)
+    if decision and merged.status == OPTIMAL:
+        merged.status = SAT
+    merged.num_colors = len(set(coloring.values()))
+    merged.coloring = coloring
+    return merged
+
+
+def _merge_stage_times(stages: List[StageStat], new_stages: List[StageStat]) -> None:
+    """Accumulate per-component stage times into the parent's stage list."""
+    by_name = {s.name: s for s in stages}
+    for stat in new_stages:
+        if stat.name in by_name:
+            by_name[stat.name].seconds += stat.seconds
+        else:
+            copy = StageStat(stat.name, stat.seconds, dict(stat.details))
+            stages.append(copy)
+            by_name[stat.name] = copy
+
+
+def _run_formula_stages(
+    graph: Graph,
+    budget: int,
+    config: PipelineConfig,
+    ctx: RunContext,
+    engine,
+    decision: bool,
+) -> Result:
+    """Encode, then run the configured sbp/simplify/detect permutation,
+    then solve."""
+    stages: List[StageStat] = []
+    info = PipelineInfo(
+        preprocess=config.simplify.enabled,
+        original_vertices=graph.num_vertices,
+        kernel_vertices=graph.num_vertices,
+    )
+    sym = config.symmetry
+
+    t0 = time.monotonic()
+    ctx.emit("encode", f"encoding {budget}-coloring as 0-1 ILP")
+    encoding = encode_coloring(graph, budget)
+    formula = encoding.formula
+    fstats = formula.stats()
+    stages.append(
+        StageStat(
+            "encode",
+            time.monotonic() - t0,
+            {"vars": fstats.num_vars, "clauses": fstats.num_clauses,
+             "pb": fstats.num_pb},
+        )
+    )
+
+    detection: Optional[SymmetryReport] = None
+    simplified_ran = False
+    for stage_name in config.formula_stages():
+        if ctx.cancelled():
+            return _cancelled_result(stages, info)
+        t0 = time.monotonic()
+        if stage_name == "sbp":
+            if sym.sbp_kind != "none":
+                ctx.emit("sbp", f"appending {sym.sbp_kind} SBPs")
+                work = ColoringEncoding(
+                    graph=encoding.graph,
+                    num_colors=encoding.num_colors,
+                    formula=formula,
+                    x_var=encoding.x_var,
+                    y_var=encoding.y_var,
+                )
+                from ..sbp.instance_independent import apply_sbp
+
+                formula = apply_sbp(work, sym.sbp_kind).formula
+                stages.append(
+                    StageStat("sbp", time.monotonic() - t0, {"kind": sym.sbp_kind})
+                )
+        elif stage_name == "simplify":
+            if config.simplify.enabled:
+                ctx.emit("simplify", "simplifying the clause database")
+                simplified, sstats = simplify_formula(formula)
+                info.simplify = sstats
+                simplified_ran = True
+                stages.append(
+                    StageStat(
+                        "simplify",
+                        time.monotonic() - t0,
+                        {"clauses_before": sstats.clauses_before,
+                         "clauses_after": sstats.clauses_after},
+                    )
+                )
+                if simplified is None:
+                    # The clause database alone is contradictory (e.g.
+                    # SBPs colliding with a too-small budget).
+                    return Result(
+                        status=UNSAT, stages=stages, pipeline=info,
+                        detection=detection,
+                    )
+                formula = simplified
+        elif stage_name == "detect":
+            if sym.instance_dependent:
+                ctx.emit("detect", "detecting symmetries + lex-leader SBPs")
+                key = (
+                    (graph.name, budget, sym.sbp_kind, simplified_ran)
+                    if graph.name else None
+                )
+                detection = _detect_and_break(
+                    formula, key, sym.detection_node_limit, ctx.detection_cache
+                )
+                stages.append(
+                    StageStat(
+                        "detect",
+                        time.monotonic() - t0,
+                        {"generators": detection.num_generators},
+                    )
+                )
+
+    if ctx.cancelled():
+        return _cancelled_result(stages, info)
+
+    solve_cfg = config.solve
+    upper = None
+    lower = 0
+    if solve_cfg.use_bounds and not decision:
+        _, heuristic_colors = dsatur(graph)
+        if heuristic_colors <= budget:
+            upper = heuristic_colors
+        lower = clique_lower_bound(graph)
+
+    t0 = time.monotonic()
+    ctx.emit("solve", "decision query" if decision else "minimizing used colors")
+    if decision:
+        solve_result = engine.decide(
+            formula, solve_cfg.time_limit, solve_cfg.conflict_limit
+        )
+        seconds = time.monotonic() - t0
+        stages.append(StageStat("solve", seconds, {"status": solve_result.status}))
+        return _package_decision(
+            encoding, solve_result, stages, info, detection
+        )
+    opt_result = engine.minimize(
+        formula,
+        solve_cfg.time_limit,
+        solve_cfg.conflict_limit,
+        upper,
+        lower,
+        solve_cfg.incremental,
+    )
+    seconds = time.monotonic() - t0
+    stages.append(StageStat("solve", seconds, {"status": opt_result.status}))
+    return _package_optimize(encoding, opt_result, stages, info, detection)
+
+
+def _package_optimize(
+    encoding: ColoringEncoding,
+    result,
+    stages: List[StageStat],
+    info: PipelineInfo,
+    detection: Optional[SymmetryReport],
+) -> Result:
+    coloring = None
+    num_colors = None
+    if result.best_model is not None:
+        coloring = decode_coloring(encoding, result.best_model)
+        check_proper(encoding.graph, coloring)
+        num_colors = len(set(coloring.values()))
+        if result.best_value is not None and num_colors != result.best_value:
+            raise AssertionError(
+                f"decoded coloring uses {num_colors} colors but solver "
+                f"reported {result.best_value}"
+            )
+    return Result(
+        status=result.status,
+        num_colors=num_colors,
+        coloring=coloring,
+        stages=stages,
+        pipeline=info,
+        detection=detection,
+        stats=result.stats,
+        solvers_created=1,
+    )
+
+
+def _package_decision(
+    encoding: ColoringEncoding,
+    result,
+    stages: List[StageStat],
+    info: PipelineInfo,
+    detection: Optional[SymmetryReport],
+) -> Result:
+    coloring = None
+    num_colors = None
+    if result.is_sat and result.model is not None:
+        coloring = decode_coloring(encoding, result.model)
+        check_proper(encoding.graph, coloring)
+        num_colors = len(set(coloring.values()))
+    return Result(
+        status=result.status,
+        num_colors=num_colors,
+        coloring=coloring,
+        stages=stages,
+        pipeline=info,
+        detection=detection,
+        stats=result.stats,
+        solvers_created=1,
+    )
+
+
+def run_chromatic_via_budget(
+    graph: Graph,
+    max_colors: Optional[int],
+    config: PipelineConfig,
+    ctx: RunContext,
+    engine,
+) -> Result:
+    """Chromatic number through the budgeted-optimize flow.
+
+    Picks the budget K from the DSATUR upper bound (which always
+    suffices), capped by ``max_colors``.  A cap of zero on a non-empty
+    graph is infeasible (UNSAT) — it must never be clamped up to a
+    budget that silently "solves" with one color.
+    """
+    trivial = _trivial_result(CHROMATIC, graph)
+    if trivial is not None:
+        return trivial
+    if max_colors is not None and max_colors <= 0:
+        return _infeasible_budget(graph, max_colors, config)
+    _, ub = dsatur(graph)
+    k = ub if max_colors is None else min(max_colors, ub)
+    return run_optimize_flow(graph, max(k, 1), config, ctx, engine)

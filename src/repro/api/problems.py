@@ -1,0 +1,95 @@
+"""Problem value objects: what to solve, separated from how to solve it.
+
+Three immutable problem kinds cover the repo's workloads:
+
+* :class:`DecisionProblem` — is the graph K-colorable?
+* :class:`BudgetedOptimize` — minimize the colors used within a fixed
+  budget (the paper's application-driven ``K`` scenario: solve the 0-1
+  ILP encoding at ``max_colors`` and minimize used colors).
+* :class:`ChromaticProblem` — compute the chromatic number, optionally
+  capped by ``max_colors`` (a cap below the chromatic number makes the
+  problem infeasible and the result UNSAT).
+
+Construction validates eagerly: malformed budgets raise ``ValueError``
+at the call site, never deep inside a solver.  A budget of zero is
+*valid input* — it means "no colors allowed", which is infeasible for
+every non-empty graph and trivially optimal for the empty one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+from ..graphs.graph import Graph
+
+DECISION = "decision"
+CHROMATIC = "chromatic"
+BUDGETED = "budgeted-optimize"
+
+PROBLEM_KINDS = (DECISION, CHROMATIC, BUDGETED)
+
+
+@dataclass(frozen=True)
+class Problem:
+    """Base class of all problem value objects."""
+
+    graph: Graph
+
+    kind: ClassVar[str] = ""
+
+    def __post_init__(self):
+        if not isinstance(self.graph, Graph):
+            raise ValueError(
+                f"problem graph must be a repro Graph, got {type(self.graph).__name__}"
+            )
+
+
+def _check_budget(value, what: str) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValueError(f"{what} must be a non-negative int, got {value!r}")
+
+
+@dataclass(frozen=True)
+class DecisionProblem(Problem):
+    """Is ``graph`` colorable with ``k`` colors available?"""
+
+    k: int
+
+    kind: ClassVar[str] = DECISION
+
+    def __post_init__(self):
+        super().__post_init__()
+        _check_budget(self.k, "color count k")
+
+
+@dataclass(frozen=True)
+class ChromaticProblem(Problem):
+    """Compute the chromatic number of ``graph``.
+
+    ``max_colors`` caps the search (``None`` = uncapped; the DSATUR
+    bound always suffices).  A cap below the chromatic number yields an
+    UNSAT (infeasible) result — it never silently loosens.
+    """
+
+    max_colors: Optional[int] = None
+
+    kind: ClassVar[str] = CHROMATIC
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.max_colors is not None:
+            _check_budget(self.max_colors, "max_colors")
+
+
+@dataclass(frozen=True)
+class BudgetedOptimize(Problem):
+    """Minimize the colors used on ``graph`` within a budget of ``max_colors``."""
+
+    max_colors: int
+
+    kind: ClassVar[str] = BUDGETED
+
+    def __post_init__(self):
+        super().__post_init__()
+        _check_budget(self.max_colors, "max_colors")

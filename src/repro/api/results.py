@@ -1,0 +1,148 @@
+"""Structured results, progress events and run context for the public API.
+
+Every query — whatever the problem kind or backend — returns one
+:class:`Result`: the answer (status, colors, coloring), a per-stage
+trace (:class:`StageStat`, in execution order, with wall seconds and
+stage-specific details), aggregated solver statistics, the K-query
+trace of descent-style searches, and :class:`Provenance` recording
+exactly which problem, backend and configuration produced it.
+
+:class:`RunContext` is the side-channel a run carries: the progress
+callback (:class:`ProgressEvent` per stage transition / K query), the
+cancellation predicate (checked between stages and between queries —
+a cancelled run returns its best-so-far answer with ``cancelled=True``
+rather than raising), and the shared symmetry-detection cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..coloring.solve import PipelineInfo
+from ..sat.result import OPTIMAL, SAT, UNSAT, SolverStats
+from ..symmetry.detect import SymmetryReport
+
+
+@dataclass
+class StageStat:
+    """One executed pipeline stage: name, wall time, stage details."""
+
+    name: str
+    seconds: float = 0.0
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ProgressEvent:
+    """One progress notification delivered to the ``on_progress`` callback."""
+
+    stage: str
+    message: str
+    k: Optional[int] = None
+    status: Optional[str] = None
+
+
+@dataclass
+class RunContext:
+    """Per-run side channel: progress, cancellation, shared caches."""
+
+    on_progress: Optional[Callable[[ProgressEvent], None]] = None
+    cancel: Optional[Callable[[], bool]] = None
+    detection_cache: Optional[Dict] = None
+
+    def emit(
+        self,
+        stage: str,
+        message: str,
+        k: Optional[int] = None,
+        status: Optional[str] = None,
+    ) -> None:
+        """Deliver a progress event, if a callback is attached."""
+        if self.on_progress is not None:
+            self.on_progress(ProgressEvent(stage, message, k=k, status=status))
+
+    def cancelled(self) -> bool:
+        """True when the caller has requested cancellation."""
+        return bool(self.cancel and self.cancel())
+
+
+@dataclass
+class Provenance:
+    """Where a result came from: problem, backend, configuration."""
+
+    problem: str
+    backend: str
+    stage_order: Tuple[str, ...] = ()
+    config: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Result:
+    """The structured outcome of one API query.
+
+    ``status`` is ``OPTIMAL`` / ``SAT`` / ``UNSAT`` / ``UNKNOWN`` with
+    the same semantics as the underlying engines; decision queries
+    answer ``SAT``/``UNSAT``.  ``num_colors`` is the number of colors
+    the reported ``coloring`` uses (the chromatic number when status is
+    OPTIMAL on a chromatic problem).
+    """
+
+    status: str
+    num_colors: Optional[int] = None
+    coloring: Optional[Dict[int, int]] = None
+    stages: List[StageStat] = field(default_factory=list)
+    pipeline: Optional[PipelineInfo] = None
+    detection: Optional[SymmetryReport] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+    # (k, status) trace of descent-style searches, in query order.
+    queries: List[Tuple[int, str]] = field(default_factory=list)
+    # Fresh solver instantiations this result cost: 1 for a persistent-
+    # solver run, one per query for scratch strategies.
+    solvers_created: int = 0
+    cancelled: bool = False
+    provenance: Optional[Provenance] = None
+
+    @property
+    def solved(self) -> bool:
+        """Definitive outcome: optimum proved or infeasibility proved."""
+        return self.status in (OPTIMAL, UNSAT)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status in (OPTIMAL, SAT)
+
+    @property
+    def chromatic_number(self) -> Optional[int]:
+        """Alias of ``num_colors`` for chromatic-number queries."""
+        return self.num_colors
+
+    @property
+    def backend(self) -> str:
+        return self.provenance.backend if self.provenance else ""
+
+    def stage(self, name: str) -> Optional[StageStat]:
+        """The last executed stage with this name, if any."""
+        for stat in reversed(self.stages):
+            if stat.name == name:
+                return stat
+        return None
+
+    def stage_seconds(self, *names: str) -> float:
+        """Total wall seconds spent in the named stages (all, if none given)."""
+        return sum(
+            s.seconds for s in self.stages if not names or s.name in names
+        )
+
+    @property
+    def encode_seconds(self) -> float:
+        """Everything before the solver ran: encode + SBPs + simplify + detect."""
+        return self.stage_seconds("encode", "sbp", "simplify", "detect")
+
+    @property
+    def solve_seconds(self) -> float:
+        return self.stage_seconds("solve")
+
+    @property
+    def total_seconds(self) -> float:
+        return self.stage_seconds()

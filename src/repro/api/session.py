@@ -1,0 +1,268 @@
+"""Reusable solve sessions: many queries, one persistent solver.
+
+A :class:`Session` owns the persistent
+:class:`~repro.coloring.sat_pipeline.IncrementalKSearch` for one graph
+and answers *multiple* queries against it — decision at K, decision at
+K−1, a full chromatic descent — all on the same solver, so learned
+clauses, saved phases and activity carry across queries, not just
+across the K values of a single search.
+
+The encoding grows *upward* too: asking about a budget above the
+currently encoded horizon adds the new color groups to the live solver
+(:meth:`IncrementalKSearch.grow_to`) instead of re-encoding — the
+ROADMAP's "incremental encoding growth upward" item.  Downward queries
+are plain assumption queries, so a lowered budget can always be raised
+back.
+
+Progress callbacks fire per query; the cancellation predicate is
+polled between queries and makes the session return its best-so-far
+answer with ``cancelled=True``.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Callable, List, Optional, Tuple
+
+from ..coloring.sat_pipeline import IncrementalKSearch
+from ..graphs.cliques import clique_lower_bound
+from ..graphs.coloring_heuristics import dsatur
+from ..graphs.graph import Graph
+from ..sat.result import OPTIMAL, SAT, UNKNOWN, UNSAT
+from .config import PipelineConfig
+from .results import ProgressEvent, Result, RunContext, StageStat
+
+
+class Session:
+    """Multiple coloring queries on one graph, one persistent solver.
+
+    ``config`` supplies the encoding/simplification knobs (the
+    ``cdcl-incremental`` backend's subset: pairwise AMO, growth-safe
+    SBPs, model-preserving simplification) and the default time limit.
+    The solver is created lazily on the first query, encoded at that
+    query's horizon, and only ever *grows* afterwards.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[PipelineConfig] = None,
+        on_progress: Optional[Callable[[ProgressEvent], None]] = None,
+        cancel: Optional[Callable[[], bool]] = None,
+    ):
+        self.graph = graph
+        self.config = config if config is not None else PipelineConfig()
+        from ..coloring.sat_pipeline import GROWABLE_SBP_KINDS
+
+        if self.config.symmetry.sbp_kind not in GROWABLE_SBP_KINDS:
+            raise ValueError(
+                f"Session supports sbp_kind in {GROWABLE_SBP_KINDS} (the "
+                "growth-safe subset), got "
+                f"{self.config.symmetry.sbp_kind!r}"
+            )
+        self._ctx = RunContext(on_progress=on_progress, cancel=cancel)
+        self._search: Optional[IncrementalKSearch] = None
+        self.solvers_created = 0
+        self.queries: List[Tuple[int, str]] = []
+        self._best_coloring = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the persistent solver."""
+        self._search = None
+
+    @property
+    def budget(self) -> int:
+        """The currently encoded color horizon (0 before the first query)."""
+        return self._search.max_k if self._search is not None else 0
+
+    @property
+    def stats(self):
+        """Cumulative solver statistics over every query so far."""
+        if self._search is None:
+            from ..sat.result import SolverStats
+
+            return SolverStats()
+        return self._search.stats
+
+    def _ensure_search(self, k_needed: int) -> IncrementalKSearch:
+        """Create the solver at ``k_needed`` colors, or grow it to reach."""
+        if self._search is None:
+            self._search = IncrementalKSearch(
+                self.graph,
+                max(k_needed, 1),
+                amo_encoding="pairwise",
+                sbp_kind=self.config.symmetry.sbp_kind,
+                simplify=self.config.simplify.enabled,
+                growable=True,
+            )
+            self.solvers_created += 1
+        elif k_needed > self._search.max_k:
+            self._ctx.emit(
+                "grow",
+                f"raising color budget {self._search.max_k} -> {k_needed} "
+                "(adding color groups in place)",
+                k=k_needed,
+            )
+            self._search.grow_to(k_needed)
+        return self._search
+
+    def raise_budget(self, new_max: int) -> None:
+        """Grow the encoded color horizon to ``new_max`` without re-encoding."""
+        if new_max <= 0:
+            raise ValueError(f"budget must be positive, got {new_max}")
+        self._ensure_search(new_max)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _result(self, status, coloring, seconds, query_k=None, query_status=None,
+                cancelled=False) -> Result:
+        queries = [(query_k, query_status)] if query_k is not None else []
+        return Result(
+            status=status,
+            num_colors=len(set(coloring.values())) if coloring else
+            (0 if coloring == {} else None),
+            coloring=coloring,
+            stages=[StageStat("solve", seconds)],
+            # Snapshot: the session's cumulative stats keep growing with
+            # later queries, but each returned Result must stand still.
+            stats=copy.copy(self.stats),
+            queries=queries,
+            solvers_created=self.solvers_created,
+            cancelled=cancelled,
+        )
+
+    def decide(self, k: int, time_limit: Optional[float] = None) -> Result:
+        """Is the graph ``k``-colorable?  (SAT/UNSAT/UNKNOWN + coloring.)
+
+        A ``k`` above the current horizon grows the encoding in place; a
+        ``k`` below it is a plain assumption query — so interleaving
+        budgets in any order keeps the one persistent solver.
+        """
+        t0 = time.monotonic()
+        if k <= 0 or self.graph.num_vertices == 0:
+            status = SAT if self.graph.num_vertices == 0 else UNSAT
+            coloring = {} if status == SAT else None
+            self.queries.append((k, status))
+            return self._result(status, coloring, time.monotonic() - t0,
+                                query_k=k, query_status=status)
+        if self._ctx.cancelled():
+            return self._result(UNKNOWN, None, time.monotonic() - t0,
+                                cancelled=True)
+        search = self._ensure_search(k)
+        self._ctx.emit("query", f"deciding {k}-colorability", k=k)
+        if time_limit is None:
+            time_limit = self.config.solve.time_limit
+        status, coloring, _ = search.solve_k(k, time_limit=time_limit)
+        self.queries.append((k, status))
+        self._ctx.emit("query", f"K={k}: {status}", k=k, status=status)
+        if coloring is not None:
+            self._best_coloring = coloring
+        return self._result(status, coloring, time.monotonic() - t0,
+                            query_k=k, query_status=status)
+
+    def chromatic(
+        self,
+        strategy: str = "linear",
+        time_limit: Optional[float] = None,
+        max_colors: Optional[int] = None,
+    ) -> Result:
+        """Chromatic number by a K descent on the session's solver.
+
+        Unlike the one-shot descent, nothing is disabled permanently —
+        every query is assumption-based, so the session stays fully
+        reusable (including budget raises) afterwards.
+        """
+        if strategy not in ("linear", "binary"):
+            raise ValueError(f"unknown strategy {strategy!r}; expected linear/binary")
+        t0 = time.monotonic()
+        if time_limit is None:
+            time_limit = self.config.solve.time_limit
+        n = self.graph.num_vertices
+        if n == 0:
+            return self._result(OPTIMAL, {}, time.monotonic() - t0)
+        if max_colors is not None and max_colors <= 0:
+            return self._result(UNSAT, None, time.monotonic() - t0)
+        heuristic, ub = dsatur(self.graph)
+        lb = max(1, clique_lower_bound(self.graph))
+        best = {v: c + 1 for v, c in heuristic.items()}
+        if max_colors is not None and max_colors < ub:
+            # The cap undercuts the heuristic bound: establish
+            # feasibility at the cap first.
+            probe = self.decide(max_colors, time_limit=time_limit)
+            if probe.status != SAT:
+                return self._result(
+                    probe.status if probe.status == UNSAT else UNKNOWN,
+                    None, time.monotonic() - t0, query_k=max_colors,
+                    query_status=probe.status, cancelled=probe.cancelled,
+                )
+            best = probe.coloring
+            ub = len(set(best.values()))
+        search = self._ensure_search(ub)
+        queries: List[Tuple[int, str]] = []
+
+        def remaining() -> Optional[float]:
+            if time_limit is None:
+                return None
+            return time_limit - (time.monotonic() - t0)
+
+        def finish(status: str, coloring, cancelled=False) -> Result:
+            result = self._result(status, coloring, time.monotonic() - t0,
+                                  cancelled=cancelled)
+            result.queries = queries
+            return result
+
+        if strategy == "linear":
+            k = ub - 1
+            while k >= lb:
+                budget = remaining()
+                if budget is not None and budget <= 0:
+                    return finish(SAT, best)
+                if self._ctx.cancelled():
+                    return finish(SAT, best, cancelled=True)
+                self._ctx.emit("query", f"deciding {k}-colorability", k=k)
+                status, coloring, _ = search.solve_k(k, time_limit=budget)
+                queries.append((k, status))
+                self.queries.append((k, status))
+                self._ctx.emit("query", f"K={k}: {status}", k=k, status=status)
+                if status == UNKNOWN:
+                    return finish(SAT, best)
+                if status == UNSAT:
+                    return finish(OPTIMAL, best)
+                best = coloring
+                k = len(set(coloring.values())) - 1
+            return finish(OPTIMAL, best)
+
+        lo, hi = lb, ub
+        while lo < hi:
+            mid = (lo + hi) // 2
+            budget = remaining()
+            if budget is not None and budget <= 0:
+                return finish(SAT, best)
+            if self._ctx.cancelled():
+                return finish(SAT, best, cancelled=True)
+            self._ctx.emit("query", f"deciding {mid}-colorability", k=mid)
+            status, coloring, failed_colors = search.solve_k(mid, time_limit=budget)
+            queries.append((mid, status))
+            self.queries.append((mid, status))
+            self._ctx.emit("query", f"K={mid}: {status}", k=mid, status=status)
+            if status == UNKNOWN:
+                return finish(SAT, best)
+            if status == UNSAT:
+                lo = max(mid + 1, min(failed_colors) if failed_colors else 0)
+            else:
+                best = coloring
+                hi = min(len(set(coloring.values())), mid)
+        return finish(OPTIMAL, best)

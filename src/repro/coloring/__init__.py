@@ -31,10 +31,12 @@ from .reduce import (
 )
 from .encoding import add_color_activation_literals
 from .sat_pipeline import (
+    GROWABLE_SBP_KINDS,
     IncrementalKSearch,
     SatPipelineResult,
     chromatic_number_sat,
     encode_k_coloring_cnf,
+    encode_k_coloring_growable,
     encode_k_coloring_incremental,
     sat_k_colorable,
 )
@@ -72,6 +74,8 @@ __all__ = [
     "chromatic_number_sat",
     "coudert_chromatic_number",
     "encode_k_coloring_cnf",
+    "encode_k_coloring_growable",
+    "GROWABLE_SBP_KINDS",
     "maximal_independent_sets",
     "mt_chromatic_number",
     "necsp_chromatic_number",

@@ -130,6 +130,67 @@ def encode_k_coloring_incremental(
     return formula, x, activators
 
 
+GROWABLE_SBP_KINDS = ("none", "sc")
+
+
+def encode_k_coloring_growable(
+    graph: Graph,
+    max_k: int,
+    sbp_kind: str = "none",
+) -> Tuple[Formula, Dict[Tuple[int, int], int], Dict[int, int], int]:
+    """Growable K-coloring encoding: activation literals *and* an
+    at-least-one generation that can be retired when the budget rises.
+
+    The plain incremental encoding hard-codes the color horizon in the
+    per-vertex at-least-one clauses ``(x[v][1] | ... | x[v][max_k])`` —
+    once loaded they force every vertex into the first ``max_k`` colors
+    forever, so raising the budget would require re-encoding.  Here each
+    at-least-one clause instead carries a shared *extension literal*
+    ``ext``: ``(x[v][1] | ... | x[v][max_k] | ext)``.  Queries assume
+    ``-ext`` (restoring the exact at-least-one semantics); growing the
+    budget adds the level-0 unit ``ext`` — vacuously satisfying the old
+    generation — and a fresh generation of wider clauses guarded by a
+    fresh extension literal.  All other clause groups (at-most-one,
+    edge conflicts, activation guards, SC pins) only ever *forbid*
+    colors, so they stay valid verbatim as colors are added.
+
+    Only the pairwise at-most-one encoding and the growth-safe SBP
+    subset (``"none"``/``"sc"`` — SC pins specific colors, which new
+    colors never invalidate) are supported.
+
+    Returns ``(formula, x_vars, activators, ext)``.
+    """
+    if sbp_kind not in GROWABLE_SBP_KINDS:
+        raise ValueError(
+            f"growable encoding supports sbp_kind in {GROWABLE_SBP_KINDS}, "
+            f"got {sbp_kind!r} (NU chains quantify over the color horizon)"
+        )
+    formula = Formula()
+    x: Dict[Tuple[int, int], int] = {}
+    n = graph.num_vertices
+    for v in range(n):
+        for c in range(1, max_k + 1):
+            x[(v, c)] = formula.new_var(("x", v, c))
+    ext = formula.new_var(("ext", max_k))
+    for v in range(n):
+        formula.add_clause([x[(v, c)] for c in range(1, max_k + 1)] + [ext])
+        for c1 in range(1, max_k + 1):
+            for c2 in range(c1 + 1, max_k + 1):
+                formula.add_clause([-x[(v, c1)], -x[(v, c2)]])
+    for a, b in graph.edges():
+        for c in range(1, max_k + 1):
+            formula.add_clause([-x[(a, c)], -x[(b, c)]])
+    if sbp_kind == "sc" and n > 0:
+        vl = max(graph.vertices(), key=lambda v: (graph.degree(v), -v))
+        formula.add_clause([x[(vl, 1)]])
+        neighbors = graph.neighbors(vl)
+        if neighbors and max_k >= 2:
+            vl2 = max(neighbors, key=lambda v: (graph.degree(v), -v))
+            formula.add_clause([x[(vl2, 2)]])
+    activators = add_color_activation_literals(formula, x, n, max_k)
+    return formula, x, activators, ext
+
+
 class IncrementalKSearch:
     """One persistent CDCL solver answering K-colorability for any K <= ub.
 
@@ -146,6 +207,13 @@ class IncrementalKSearch:
     equisatisfiable preprocessor is deliberately not used here: pure
     literal elimination or bounded variable elimination could remove the
     activation variables the per-call assumptions refer to.
+
+    ``growable=True`` uses the generation-based encoding of
+    :func:`encode_k_coloring_growable`, which additionally supports
+    :meth:`grow_to` — raising the color budget by adding color groups
+    to the live solver instead of re-encoding.  Growable searches keep
+    every refutation retractable, so ``permanent`` queries (which
+    disable colors with level-0 units) are rejected.
     """
 
     def __init__(
@@ -155,12 +223,26 @@ class IncrementalKSearch:
         amo_encoding: str = "pairwise",
         sbp_kind: str = "none",
         simplify: bool = True,
+        growable: bool = False,
     ):
         self.graph = graph
         self.max_k = max_k
-        formula, x, activators = encode_k_coloring_incremental(
-            graph, max_k, amo_encoding, sbp_kind
-        )
+        self.growable = growable
+        if growable:
+            if amo_encoding != "pairwise":
+                raise ValueError(
+                    "growable encodings support only the pairwise "
+                    f"at-most-one encoding, got {amo_encoding!r}"
+                )
+            formula, x, activators, ext = encode_k_coloring_growable(
+                graph, max_k, sbp_kind
+            )
+            self._ext: Optional[int] = ext
+        else:
+            formula, x, activators = encode_k_coloring_incremental(
+                graph, max_k, amo_encoding, sbp_kind
+            )
+            self._ext = None
         self.x = x
         self.activators = activators
         self.root_unsat = False
@@ -173,6 +255,9 @@ class IncrementalKSearch:
         self.solver = CDCLSolver(num_vars=formula.num_vars)
         if not self.root_unsat and not self.solver.add_formula(formula):
             self.root_unsat = True
+        # Fresh variables created by grow_to() start above everything the
+        # encoding (pre- or post-simplification) ever allocated.
+        self._top_var = max(formula.num_vars, self.solver.num_vars)
         self.stats = SolverStats()
         self._last_coloring: Optional[Dict[int, int]] = None
         # Colors above this bound have been switched off *permanently*
@@ -180,8 +265,69 @@ class IncrementalKSearch:
         self._active_ub = max_k
 
     def assumptions_for(self, k: int) -> List[int]:
-        """The assumption literals that switch off colors above ``k``."""
-        return [-self.activators[c] for c in range(k + 1, self.max_k + 1)]
+        """The assumption literals that switch off colors above ``k``.
+
+        On growable encodings the current generation's extension literal
+        is also assumed off, restoring exact at-least-one semantics.
+        """
+        assumptions = [-self._ext] if self._ext is not None else []
+        assumptions += [-self.activators[c] for c in range(k + 1, self.max_k + 1)]
+        return assumptions
+
+    def _new_var(self) -> int:
+        self._top_var += 1
+        return self._top_var
+
+    def grow_to(self, new_max_k: int) -> None:
+        """Raise the encoded color budget to ``new_max_k`` in place.
+
+        Adds the new color groups — indicator variables, activation
+        literals, activation guards, per-vertex at-most-one pairs,
+        per-edge conflict clauses — directly to the persistent solver,
+        retires the previous at-least-one generation with a level-0
+        ``ext`` unit, and installs a wider generation under a fresh
+        extension literal.  Learned clauses survive: the clause database
+        only ever grows, so everything derived from it stays sound.
+        """
+        if not self.growable:
+            raise ValueError(
+                "this search was built with growable=False; construct it "
+                "with growable=True to raise the color budget in place"
+            )
+        if new_max_k <= self.max_k:
+            return
+        if self.root_unsat:
+            return
+        solver = self.solver
+        n = self.graph.num_vertices
+        old_max = self.max_k
+        # Retire the old at-least-one generation (ext satisfies it).
+        ok = solver.add_clause([self._ext])
+        for c in range(old_max + 1, new_max_k + 1):
+            for v in range(n):
+                self.x[(v, c)] = self._new_var()
+            self.activators[c] = self._new_var()
+        for c in range(old_max + 1, new_max_k + 1):
+            a_c = self.activators[c]
+            for v in range(n):
+                x_vc = self.x[(v, c)]
+                ok = solver.add_clause([-x_vc, a_c]) and ok
+                for c2 in range(1, c):
+                    ok = solver.add_clause([-self.x[(v, c2)], -x_vc]) and ok
+            for a, b in self.graph.edges():
+                ok = solver.add_clause([-self.x[(a, c)], -self.x[(b, c)]]) and ok
+        new_ext = self._new_var()
+        solver._ensure_var(new_ext)
+        for v in range(n):
+            ok = solver.add_clause(
+                [self.x[(v, c)] for c in range(1, new_max_k + 1)] + [new_ext]
+            ) and ok
+        solver.saved_phase[new_ext] = False
+        self._ext = new_ext
+        self.max_k = new_max_k
+        self._active_ub = new_max_k
+        if not ok:
+            self.root_unsat = True
 
     def _prepare_heuristics(self, k: int, carry: bool) -> None:
         """Re-seed the decision heuristics for the next K query.
@@ -242,8 +388,17 @@ class IncrementalKSearch:
         ``permanent=False`` so refutations stay retractable and return
         assumption cores.
         """
-        if k >= self.max_k:
-            raise ValueError(f"k={k} not below the encoded bound {self.max_k}")
+        if k > self.max_k:
+            raise ValueError(
+                f"k={k} above the encoded bound {self.max_k}; grow_to() a "
+                "growable search (or re-encode) to raise the budget"
+            )
+        if permanent and self.growable:
+            raise ValueError(
+                "permanent queries disable colors with level-0 units, which "
+                "a later grow_to() could never re-enable; growable searches "
+                "must keep permanent=False"
+            )
         if k > self._active_ub:
             # Colors above _active_ub were disabled with level-0 units by
             # an earlier permanent query; no assumption can re-enable
@@ -392,6 +547,7 @@ def chromatic_number_sat(
     preprocess: bool = True,
     reduce: bool = True,
     incremental: bool = True,
+    should_stop=None,
 ) -> SatPipelineResult:
     """Chromatic number via repeated CNF-SAT decision calls.
 
@@ -410,6 +566,10 @@ def chromatic_number_sat(
     ``incremental=False`` each query pays for a fresh encoding,
     preprocessing and solver (the historical behaviour, kept for
     measurement).
+
+    ``should_stop`` (a zero-argument predicate) is polled before each K
+    query; when it turns true the search stops and the best-so-far
+    answer is returned (status SAT — the bound is not proved).
     """
     if strategy not in ("linear", "binary"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -421,7 +581,7 @@ def chromatic_number_sat(
         return _chromatic_number_incremental(
             graph, strategy, start, time_limit=time_limit,
             amo_encoding=amo_encoding, sbp_kind=sbp_kind,
-            preprocess=preprocess, reduce=reduce,
+            preprocess=preprocess, reduce=reduce, should_stop=should_stop,
         )
     heuristic_coloring, ub = dsatur(graph)
     best = {v: c + 1 for v, c in heuristic_coloring.items()}
@@ -448,6 +608,8 @@ def chromatic_number_sat(
             budget = remaining()
             if budget is not None and budget <= 0:
                 return finish(SAT, k + 1)
+            if should_stop is not None and should_stop():
+                return finish(SAT, k + 1)
             calls += 1
             status, coloring = sat_k_colorable(
                 graph, k, time_limit=budget,
@@ -468,6 +630,8 @@ def chromatic_number_sat(
         mid = (lo + hi) // 2
         budget = remaining()
         if budget is not None and budget <= 0:
+            return finish(SAT, hi)
+        if should_stop is not None and should_stop():
             return finish(SAT, hi)
         calls += 1
         status, coloring = sat_k_colorable(
@@ -495,6 +659,7 @@ def _chromatic_number_incremental(
     sbp_kind: str,
     preprocess: bool,
     reduce: bool,
+    should_stop=None,
 ) -> SatPipelineResult:
     """The persistent-solver descent behind ``chromatic_number_sat``.
 
@@ -566,6 +731,8 @@ def _chromatic_number_incremental(
             budget = remaining()
             if budget is not None and budget <= 0:
                 return finish(SAT, k + 1, best_kernel)
+            if should_stop is not None and should_stop():
+                return finish(SAT, k + 1, best_kernel)
             calls += 1
             # The linear strategy is monotone, so colors are switched
             # off permanently (level-0 units): same persistent solver,
@@ -587,6 +754,8 @@ def _chromatic_number_incremental(
         mid = (lo + hi) // 2
         budget = remaining()
         if budget is not None and budget <= 0:
+            return finish(SAT, hi, best_kernel)
+        if should_stop is not None and should_stop():
             return finish(SAT, hi, best_kernel)
         calls += 1
         status, coloring, failed_colors = search.solve_k(mid, time_limit=budget)

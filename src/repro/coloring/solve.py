@@ -1,58 +1,37 @@
-"""High-level exact coloring API: the paper's full pipeline in one call.
+"""Legacy exact-coloring entry points (deprecation shims over ``repro.api``).
 
-``solve_coloring`` reproduces the experimental flow of Section 4, with
-the simplification stages that make the paper's sparse instances
-(books, miles, register graphs) tractable wired in:
+``solve_coloring`` and ``find_chromatic_number`` were the repo's
+original high-level API: one call running the paper's full pipeline —
+kernelization, 0-1 ILP encoding, instance-independent SBPs, CNF
+simplification, optional symmetry detection, and color minimization
+with a named solver profile.  Over PRs 1–2 they accumulated 10+ kwargs
+each; the pipeline now lives behind the composable public API in
+:mod:`repro.api` (Problem value objects, a staged ``Pipeline`` builder,
+a backend registry, and reusable ``Session`` objects).
 
-1. optionally kernelize the graph — low-degree peeling at the clique
-   lower bound plus connected-component splitting (``reduce=True``);
-2. encode K-coloring as 0-1 ILP (Section 2.5);
-3. optionally append instance-independent SBPs (NU/CA/LI/SC, Section 3);
-4. optionally simplify the clause database (tautology/duplicate
-   removal, unit propagation, subsumption, self-subsuming resolution,
-   forced-literal substitution into PB constraints —
-   ``preprocess=True``, model-preserving, so decoded colorings need no
-   fix-up);
-5. optionally run symmetry detection — on the *simplified* formula,
-   which is smaller and cheaper to canonicalize — and append
-   instance-dependent lex-leader SBPs (the Shatter flow);
-6. minimize the number of used colors with a chosen solver profile
-   (PBS II / Galena / Pueblo presets, or the generic LP-based branch
-   and bound standing in for CPLEX).  The binary-search profiles run
-   all probes on one persistent incremental solver with
-   selector-guarded bound constraints (``incremental=True``).
+Both functions remain as thin deprecation shims: they translate their
+historical kwargs into a :class:`repro.api.PipelineConfig`, run the
+problem through :class:`repro.api.Pipeline`, and repackage the
+structured :class:`repro.api.Result` as the historical
+:class:`ColoringSolveResult`.  New code should use ``repro.api``::
 
-``find_chromatic_number`` wraps it with sensible defaults — both
-simplification stages on — and DSATUR / clique bounds, following the
-bound-seeding procedure the paper sketches in Section 4.1.
+    from repro.api import BudgetedOptimize, ChromaticProblem, Pipeline
+
+    pipe = Pipeline().symmetry(sbp_kind="nu+sc").solve(backend="pb-pbs2")
+    result = pipe.run(BudgetedOptimize(graph, max_colors=7))
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-from ..graphs.analysis import connected_components
-from ..graphs.cliques import clique_lower_bound
-from ..graphs.coloring_heuristics import dsatur
-from ..graphs.graph import Graph
-from ..ilp.branch_and_bound import BranchAndBoundSolver
-from ..pb.presets import get_preset
-from ..pb.optimizer import minimize
-from ..sat.preprocessing import SimplifyStats, simplify_formula
-from ..sat.result import OPTIMAL, OptimizeResult, SAT, UNKNOWN, UNSAT
+from ..sat.preprocessing import SimplifyStats
+from ..sat.result import OPTIMAL, UNSAT
 from ..sbp.instance_independent import apply_sbp
-from ..sbp.lex_leader import add_symmetry_breaking_predicates
-from ..symmetry.detect import SymmetryReport, detect_symmetries
-from .encoding import (
-    ColoringEncoding,
-    decode_coloring,
-    encode_coloring,
-    normalize_coloring,
-)
-from .reduce import extend_coloring, peel_low_degree
-from .verify import check_proper
+from ..symmetry.detect import SymmetryReport
+from .encoding import ColoringEncoding, encode_coloring
 
 SOLVER_NAMES = ("pbs2", "galena", "pueblo", "cplex-bb")
 
@@ -92,7 +71,7 @@ class ColoringSolveResult:
 
 
 def prepare_formula(
-    graph: Graph,
+    graph,
     num_colors: int,
     sbp_kind: str = "none",
     instance_dependent: bool = False,
@@ -108,55 +87,82 @@ def prepare_formula(
     encoding depends only on the graph and parameters, so the cache is
     exact, not approximate.  Unnamed graphs are never cached.
 
-    Note: ``solve_coloring`` no longer uses this helper when
-    ``preprocess=True`` — it simplifies the clause database *first* and
-    detects symmetries on the smaller formula (see
-    :func:`_detect_and_break`).  This function keeps the historical
-    encode-then-detect order for callers that want the raw encoding.
+    This helper keeps the historical encode-then-detect order for
+    callers that want the raw encoding; the standard pipeline
+    (:mod:`repro.api`) detects on the *simplified* formula by default.
     """
     encoding = encode_coloring(graph, num_colors)
     encoding = apply_sbp(encoding, sbp_kind)
     report: Optional[SymmetryReport] = None
     if instance_dependent:
+        from ..api.pipeline import _detect_and_break
+
+        key = (graph.name, num_colors, sbp_kind, False) if graph.name else None
         report = _detect_and_break(
-            encoding.formula,
-            key=(graph.name, num_colors, sbp_kind, False) if graph.name else None,
-            detection_node_limit=detection_node_limit,
-            detection_cache=detection_cache,
+            encoding.formula, key, detection_node_limit, detection_cache
         )
     return encoding, report
 
 
-def _detect_and_break(
-    formula,
-    key,
+def _legacy_pipeline(
+    solver: str,
+    sbp_kind: str,
+    instance_dependent: bool,
+    time_limit: Optional[float],
+    conflict_limit: Optional[int],
+    use_bounds: bool,
     detection_node_limit: Optional[int],
-    detection_cache: Optional[Dict],
-) -> SymmetryReport:
-    """Detect symmetries of ``formula`` and append lex-leader SBPs.
+    preprocess: bool,
+    reduce: bool,
+    incremental: bool,
+):
+    """Translate the historical kwargs into an API pipeline."""
+    from ..api import Pipeline
 
-    The detection runs on whatever formula it is handed — in the
-    standard pipeline that is the *simplified* clause database, which is
-    smaller and therefore cheaper to canonicalize than the raw encoding
-    (the ROADMAP's "detect after simplification" note).  Simplification
-    is model-preserving, so symmetries of the simplified formula permute
-    exactly the models of the original encoding and the lex-leader
-    predicates remain sound.
-    """
-    if detection_cache is not None and key is not None and key in detection_cache:
-        report = detection_cache[key]
-    else:
-        report = detect_symmetries(
-            formula, node_limit=detection_node_limit, compute_order=False
+    if solver not in SOLVER_NAMES:
+        raise ValueError(f"unknown solver {solver!r}; expected one of {SOLVER_NAMES}")
+    return (
+        Pipeline()
+        .reduce(reduce)
+        .symmetry(
+            sbp_kind=sbp_kind,
+            instance_dependent=instance_dependent,
+            detection_node_limit=detection_node_limit,
         )
-        if detection_cache is not None and key is not None:
-            detection_cache[key] = report
-    add_symmetry_breaking_predicates(formula, report.generators)
-    return report
+        .simplify(preprocess)
+        .solve(
+            backend=solver,
+            time_limit=time_limit,
+            conflict_limit=conflict_limit,
+            incremental=incremental,
+            use_bounds=use_bounds,
+        )
+    )
+
+
+def _to_legacy_result(
+    result,
+    solver: str,
+    sbp_kind: str,
+    instance_dependent: bool,
+) -> ColoringSolveResult:
+    """Repackage an API :class:`repro.api.Result` in the historical shape."""
+    return ColoringSolveResult(
+        status=result.status,
+        num_colors=result.num_colors,
+        coloring=result.coloring,
+        solve_seconds=result.solve_seconds,
+        encode_seconds=result.encode_seconds,
+        detection=result.detection,
+        solver=solver,
+        sbp_kind=sbp_kind,
+        instance_dependent=instance_dependent,
+        pipeline=result.pipeline,
+    )
 
 
 def solve_coloring(
-    graph: Graph,
+    graph,
     num_colors: int,
     solver: str = "pbs2",
     sbp_kind: str = "none",
@@ -172,251 +178,36 @@ def solve_coloring(
 ) -> ColoringSolveResult:
     """Minimize the colors used on ``graph`` within a budget of ``num_colors``.
 
+    .. deprecated::
+        Use :class:`repro.api.Pipeline` with
+        :class:`repro.api.BudgetedOptimize` — this shim delegates to it.
+
     Status is UNSAT when the graph is not ``num_colors``-colorable —
-    the paper's "chromatic number > K" rows.
-
-    ``preprocess`` simplifies the clause database after encoding
-    (model-preserving, so answers are identical).  ``reduce`` peels
-    low-degree vertices at the clique lower bound and solves connected
-    kernel components independently before encoding anything; both the
-    decision answer and the minimized color count are preserved because
-    ``chi(G) = max(chi(kernel), clique bound)`` when only vertices of
-    degree below the bound are peeled.
+    the paper's "chromatic number > K" rows (a budget of zero is UNSAT
+    for every non-empty graph).  ``preprocess`` simplifies the clause
+    database after encoding; ``reduce`` kernelizes the graph (peeling +
+    component split) before encoding.
     """
-    if solver not in SOLVER_NAMES:
-        raise ValueError(f"unknown solver {solver!r}; expected one of {SOLVER_NAMES}")
-    if reduce:
-        return _solve_reduced(
-            graph,
-            num_colors,
-            solver=solver,
-            sbp_kind=sbp_kind,
-            instance_dependent=instance_dependent,
-            time_limit=time_limit,
-            conflict_limit=conflict_limit,
-            use_bounds=use_bounds,
-            detection_node_limit=detection_node_limit,
-            detection_cache=detection_cache,
-            preprocess=preprocess,
-            incremental=incremental,
-        )
-    t0 = time.monotonic()
-    encoding = apply_sbp(encode_coloring(graph, num_colors), sbp_kind)
-    pipeline = PipelineInfo(
-        preprocess=preprocess,
-        original_vertices=graph.num_vertices,
-        kernel_vertices=graph.num_vertices,
+    warnings.warn(
+        "solve_coloring is deprecated; use repro.api "
+        "(Pipeline().run(BudgetedOptimize(graph, max_colors)))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    formula = encoding.formula
-    report: Optional[SymmetryReport] = None
-    if preprocess:
-        # Simplify the clause database *before* symmetry detection so
-        # the (expensive) detection canonicalizes the smaller formula.
-        # Simplification is model-preserving, hence detection on the
-        # simplified formula breaks exactly the symmetries of the
-        # original encoding's solution set.
-        simplified, stats = simplify_formula(formula)
-        pipeline.simplify = stats
-        if simplified is None:
-            # The clause database alone is contradictory (e.g. SBPs
-            # colliding with a too-small budget): not K-colorable.
-            return ColoringSolveResult(
-                status=UNSAT,
-                encode_seconds=time.monotonic() - t0,
-                detection=report,
-                solver=solver,
-                sbp_kind=sbp_kind,
-                instance_dependent=instance_dependent,
-                pipeline=pipeline,
-            )
-        formula = simplified
-    if instance_dependent:
-        key = (
-            (graph.name, num_colors, sbp_kind, preprocess)
-            if graph.name else None
-        )
-        report = _detect_and_break(
-            formula,
-            key=key,
-            detection_node_limit=detection_node_limit,
-            detection_cache=detection_cache,
-        )
-    encode_seconds = time.monotonic() - t0
+    from ..api import BudgetedOptimize
 
-    upper = None
-    lower = 0
-    if use_bounds:
-        _, heuristic_colors = dsatur(graph)
-        if heuristic_colors <= num_colors:
-            upper = heuristic_colors
-        lower = clique_lower_bound(graph)
-
-    t1 = time.monotonic()
-    if solver == "cplex-bb":
-        result = BranchAndBoundSolver().optimize(formula, time_limit=time_limit)
-    else:
-        preset = get_preset(solver)
-        result = minimize(
-            formula,
-            strategy=preset.optimization_strategy,
-            solver_factory=preset.solver_factory(),
-            time_limit=time_limit,
-            conflict_limit=conflict_limit,
-            upper_bound_hint=upper,
-            lower_bound=lower,
-            incremental=incremental,
-        )
-    solve_seconds = time.monotonic() - t1
-    return _package(encoding, result, solve_seconds, encode_seconds, report,
-                    solver, sbp_kind, instance_dependent, pipeline)
-
-
-def _solve_reduced(
-    graph: Graph,
-    num_colors: int,
-    solver: str,
-    sbp_kind: str,
-    instance_dependent: bool,
-    time_limit: Optional[float],
-    conflict_limit: Optional[int],
-    use_bounds: bool,
-    detection_node_limit: Optional[int],
-    detection_cache: Optional[Dict],
-    preprocess: bool,
-    incremental: bool = True,
-) -> ColoringSolveResult:
-    """Kernelize, solve the kernel components, lift the coloring back.
-
-    Peeling at the clique lower bound ``lb`` is exact for optimization:
-    removing a vertex of degree < lb never changes ``max(chi, lb)``, so
-    ``chi(G) = max(chi(kernel), lb)``, and re-inserting peeled vertices
-    greedily stays inside that many colors.
-    """
-    start = time.monotonic()
-    lower = clique_lower_bound(graph)
-    pipeline = PipelineInfo(
-        preprocess=preprocess,
-        reduce=True,
-        original_vertices=graph.num_vertices,
-        # Until peeling runs, the kernel is the whole graph (the early
-        # clique-bound UNSAT exit below never peels anything).
-        kernel_vertices=graph.num_vertices,
+    pipeline = _legacy_pipeline(
+        solver, sbp_kind, instance_dependent, time_limit, conflict_limit,
+        use_bounds, detection_node_limit, preprocess, reduce, incremental,
     )
-    base = ColoringSolveResult(
-        status=UNKNOWN, solver=solver, sbp_kind=sbp_kind,
-        instance_dependent=instance_dependent, pipeline=pipeline,
+    result = pipeline.run(
+        BudgetedOptimize(graph, num_colors), detection_cache=detection_cache
     )
-    if lower > num_colors:
-        base.status = UNSAT
-        base.solve_seconds = time.monotonic() - start
-        return base
-    threshold = max(1, lower)
-    kernel = peel_low_degree(graph, threshold)
-    pipeline.kernel_vertices = kernel.graph.num_vertices
-    pipeline.peeled_vertices = graph.num_vertices - kernel.graph.num_vertices
-    pipeline.simplify = SimplifyStats() if preprocess else None
-
-    kernel_coloring: Dict[int, int] = {}
-    status = OPTIMAL
-    detection: Optional[SymmetryReport] = None
-    encode_seconds = 0.0
-    solve_seconds = 0.0
-    components: List[List[int]] = (
-        connected_components(kernel.graph) if kernel.graph.num_vertices else []
-    )
-    for component in components:
-        remaining = None
-        if time_limit is not None:
-            remaining = max(0.0, time_limit - (time.monotonic() - start))
-        sub = kernel.graph.subgraph(component)
-        result = solve_coloring(
-            sub,
-            num_colors,
-            solver=solver,
-            sbp_kind=sbp_kind,
-            instance_dependent=instance_dependent,
-            time_limit=remaining,
-            conflict_limit=conflict_limit,
-            use_bounds=use_bounds,
-            detection_node_limit=detection_node_limit,
-            detection_cache=detection_cache,
-            preprocess=preprocess,
-            reduce=False,
-            incremental=incremental,
-        )
-        encode_seconds += result.encode_seconds
-        solve_seconds += result.solve_seconds
-        if result.pipeline and result.pipeline.simplify and pipeline.simplify:
-            pipeline.simplify.merge(result.pipeline.simplify)
-        if detection is None:
-            detection = result.detection
-        if result.status == UNSAT:
-            base.status = UNSAT
-            base.detection = detection
-            base.encode_seconds = encode_seconds
-            base.solve_seconds = solve_seconds
-            return base
-        if result.status == UNKNOWN or result.coloring is None:
-            base.status = UNKNOWN
-            base.detection = detection
-            base.encode_seconds = encode_seconds
-            base.solve_seconds = solve_seconds
-            return base
-        if result.status == SAT:
-            status = SAT  # feasible but optimality not proved
-        pipeline.components_solved += 1
-        for local, color in normalize_coloring(result.coloring).items():
-            kernel_coloring[component[local]] = color
-    coloring = extend_coloring(kernel, kernel_coloring)
-    if coloring:
-        check_proper(graph, coloring)
-    base.status = status
-    base.num_colors = len(set(coloring.values()))
-    base.coloring = coloring
-    base.detection = detection
-    base.encode_seconds = encode_seconds
-    base.solve_seconds = solve_seconds
-    return base
-
-
-def _package(
-    encoding: ColoringEncoding,
-    result: OptimizeResult,
-    solve_seconds: float,
-    encode_seconds: float,
-    report: Optional[SymmetryReport],
-    solver: str,
-    sbp_kind: str,
-    instance_dependent: bool,
-    pipeline: Optional[PipelineInfo] = None,
-) -> ColoringSolveResult:
-    coloring = None
-    num_colors = None
-    if result.best_model is not None:
-        coloring = decode_coloring(encoding, result.best_model)
-        check_proper(encoding.graph, coloring)
-        num_colors = len(set(coloring.values()))
-        if result.best_value is not None and num_colors != result.best_value:
-            raise AssertionError(
-                f"decoded coloring uses {num_colors} colors but solver "
-                f"reported {result.best_value}"
-            )
-    return ColoringSolveResult(
-        status=result.status,
-        num_colors=num_colors,
-        coloring=coloring,
-        solve_seconds=solve_seconds,
-        encode_seconds=encode_seconds,
-        detection=report,
-        solver=solver,
-        sbp_kind=sbp_kind,
-        instance_dependent=instance_dependent,
-        pipeline=pipeline,
-    )
+    return _to_legacy_result(result, solver, sbp_kind, instance_dependent)
 
 
 def find_chromatic_number(
-    graph: Graph,
+    graph,
     solver: str = "pbs2",
     sbp_kind: str = "nu",
     instance_dependent: bool = False,
@@ -426,28 +217,28 @@ def find_chromatic_number(
     reduce: bool = True,
     incremental: bool = True,
 ) -> ColoringSolveResult:
-    """Convenience: pick K from DSATUR, then minimize exactly.
+    """Chromatic number via the 0-1 ILP pipeline (DSATUR-seeded budget).
 
-    ``max_colors`` caps K (the paper's application-driven fixed budget);
-    by default K is the DSATUR upper bound, which always suffices.  The
-    production path runs the full simplification pipeline by default:
-    low-degree peeling + component split before encoding, CNF
-    simplification after encoding (disable with ``preprocess=False`` /
-    ``reduce=False`` to measure the raw encodings).
+    .. deprecated::
+        Use :class:`repro.api.Pipeline` with
+        :class:`repro.api.ChromaticProblem` — this shim delegates to it.
+
+    ``max_colors`` caps the budget (the paper's application-driven fixed
+    K).  A cap below the chromatic number makes the result UNSAT — in
+    particular ``max_colors=0`` is infeasible for every non-empty graph,
+    never silently clamped up to a 1-color solve.
     """
-    _, ub = dsatur(graph)
-    k = ub if max_colors is None else min(max_colors, max(ub, 1))
-    if graph.num_vertices == 0:
-        return ColoringSolveResult(status=OPTIMAL, num_colors=0, coloring={})
-    k = max(k, 1)
-    return solve_coloring(
-        graph,
-        k,
-        solver=solver,
-        sbp_kind=sbp_kind,
-        instance_dependent=instance_dependent,
-        time_limit=time_limit,
-        preprocess=preprocess,
-        reduce=reduce,
-        incremental=incremental,
+    warnings.warn(
+        "find_chromatic_number is deprecated; use repro.api "
+        "(Pipeline().run(ChromaticProblem(graph, max_colors)))",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from ..api import ChromaticProblem
+
+    pipeline = _legacy_pipeline(
+        solver, sbp_kind, instance_dependent, time_limit, None,
+        True, 50000, preprocess, reduce, incremental,
+    )
+    result = pipeline.run(ChromaticProblem(graph, max_colors))
+    return _to_legacy_result(result, solver, sbp_kind, instance_dependent)

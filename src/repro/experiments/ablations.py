@@ -20,7 +20,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..coloring.encoding import encode_coloring
-from ..coloring.solve import solve_coloring
 from ..pb.optimizer import minimize
 from ..pb.presets import get_preset
 from ..sbp.instance_independent import SBP_KINDS, apply_sbp

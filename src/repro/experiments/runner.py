@@ -13,8 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..coloring.sat_pipeline import SatPipelineResult, chromatic_number_sat
-from ..coloring.solve import ColoringSolveResult, solve_coloring
+from ..api import BudgetedOptimize, ChromaticProblem, Pipeline, Result
 from .instances import Instance, ScalePreset
 
 # Symmetry detection depends only on (instance, K, SBP kind) — the
@@ -100,25 +99,39 @@ def run_descent(
     strategy: str = "linear",
     incremental: bool = True,
     time_limit: Optional[float] = None,
-    **kwargs,
+    sbp_kind: str = "none",
+    amo_encoding: str = "pairwise",
+    preprocess: bool = True,
+    reduce: bool = True,
 ) -> DescentRecord:
-    """Run one chromatic-number descent and record it for the perf logs."""
-    result: SatPipelineResult = chromatic_number_sat(
-        graph, strategy=strategy, incremental=incremental,
-        time_limit=time_limit, **kwargs,
+    """Run one chromatic-number descent and record it for the perf logs.
+
+    Routes through :mod:`repro.api`: the ``cdcl-incremental`` backend
+    drives the whole descent on one persistent solver, ``cdcl-scratch``
+    re-encodes per K query.
+    """
+    backend = "cdcl-incremental" if incremental else "cdcl-scratch"
+    pipeline = (
+        Pipeline()
+        .reduce(reduce)
+        .encode(amo=amo_encoding)
+        .symmetry(sbp_kind=sbp_kind)
+        .simplify(preprocess)
+        .solve(backend=backend, strategy=strategy, time_limit=time_limit)
     )
+    result: Result = pipeline.run(ChromaticProblem(graph))
     return DescentRecord(
         instance=name,
         strategy=strategy,
         incremental=incremental,
         status=result.status,
         chromatic_number=result.chromatic_number,
-        sat_calls=result.sat_calls,
-        k_queries=list(result.k_queries),
+        sat_calls=len(result.queries),
+        k_queries=list(result.queries),
         conflicts=result.stats.conflicts,
         propagations=result.stats.propagations,
         solvers_created=result.solvers_created,
-        seconds=result.time_seconds,
+        seconds=result.total_seconds,
     )
 
 
@@ -144,18 +157,19 @@ def run_one(
     graph = instance.graph()
     start = time.monotonic()
     try:
-        result: ColoringSolveResult = solve_coloring(
-            graph,
-            k,
-            solver=solver,
-            sbp_kind=sbp_kind,
-            instance_dependent=instance_dependent,
-            time_limit=time_limit,
-            detection_node_limit=detection_node_limit,
-            detection_cache=DETECTION_CACHE,
-            preprocess=preprocess,
-            reduce=reduce,
-            incremental=incremental,
+        pipeline = (
+            Pipeline()
+            .reduce(reduce)
+            .symmetry(
+                sbp_kind=sbp_kind,
+                instance_dependent=instance_dependent,
+                detection_node_limit=detection_node_limit,
+            )
+            .simplify(preprocess)
+            .solve(backend=solver, time_limit=time_limit, incremental=incremental)
+        )
+        result: Result = pipeline.run(
+            BudgetedOptimize(graph, k), detection_cache=DETECTION_CACHE
         )
         status = result.status
         num_colors = result.num_colors

@@ -15,7 +15,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..coloring.encoding import encode_coloring
 from ..coloring.exact_dsatur import exact_chromatic_number
-from ..coloring.solve import solve_coloring
 from ..graphs.cliques import clique_lower_bound
 from ..sbp.instance_independent import apply_sbp
 from ..sbp.lex_leader import add_symmetry_breaking_predicates

@@ -84,11 +84,18 @@ PRESETS: Dict[str, SolverPreset] = {
 
 
 def get_preset(name: str) -> SolverPreset:
-    """Look up a preset by name; raises ``KeyError`` with suggestions."""
+    """Look up a preset by name.
+
+    Raises ``ValueError`` naming the registered choices — preset lookup
+    is an API boundary, so a bad name must fail fast and legibly, not as
+    a ``KeyError`` from deep inside a table.
+    """
     try:
         return PRESETS[name]
     except KeyError:
-        raise KeyError(f"unknown solver preset {name!r}; available: {sorted(PRESETS)}")
+        raise ValueError(
+            f"unknown solver preset {name!r}; registered choices: {sorted(PRESETS)}"
+        ) from None
 
 
 def solve_decision(

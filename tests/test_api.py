@@ -1,0 +1,276 @@
+"""The repro.api surface: problems, configs, backends, pipelines, results.
+
+Covers the API-redesign contract:
+
+* problem value objects validate eagerly;
+* every stage config rejects bad names with a ``ValueError`` naming the
+  registered choices (never a deep ``KeyError``);
+* the backend registry resolves names and aliases, and plugging in a
+  new backend requires no call-site changes;
+* pipelines are immutable builders, stages are reorderable, and every
+  result carries per-stage stats and provenance;
+* the legacy entry points are deprecation shims that agree with the
+  API, including the ``max_colors=0`` infeasibility regression.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    Backend,
+    BudgetedOptimize,
+    ChromaticProblem,
+    DecisionProblem,
+    Pipeline,
+    PipelineConfig,
+    Result,
+    SHATTER_STAGE_ORDER,
+    SolveConfig,
+    SymmetryConfig,
+    available_backends,
+    get_backend,
+    register_backend,
+    solve_problem,
+)
+from repro.api.backends import _REGISTRY
+from repro.graphs.generators import mycielski_graph, queens_graph
+from repro.graphs.graph import Graph
+
+TRIANGLE_PLUS = Graph.from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)], name="fig1")
+
+
+# ------------------------------------------------------------------ problems
+def test_problem_validation():
+    with pytest.raises(ValueError, match="non-negative"):
+        DecisionProblem(TRIANGLE_PLUS, -1)
+    with pytest.raises(ValueError, match="non-negative"):
+        BudgetedOptimize(TRIANGLE_PLUS, -2)
+    with pytest.raises(ValueError, match="non-negative"):
+        ChromaticProblem(TRIANGLE_PLUS, max_colors=-1)
+    with pytest.raises(ValueError, match="Graph"):
+        ChromaticProblem("not a graph")
+    # Zero budgets are valid *input* (they mean infeasible, not error).
+    assert BudgetedOptimize(TRIANGLE_PLUS, 0).max_colors == 0
+    assert DecisionProblem(TRIANGLE_PLUS, 0).k == 0
+
+
+# ------------------------------------------------------------------- configs
+def test_bad_names_raise_value_error_with_choices():
+    with pytest.raises(ValueError) as exc:
+        SolveConfig(backend="minisat")
+    assert "pb-pbs2" in str(exc.value) and "cdcl-incremental" in str(exc.value)
+    with pytest.raises(ValueError) as exc:
+        SymmetryConfig(sbp_kind="zz")
+    assert "nu+sc" in str(exc.value)
+    with pytest.raises(ValueError, match="linear"):
+        SolveConfig(strategy="ternary")
+    with pytest.raises(ValueError, match="pairwise"):
+        Pipeline().encode(amo="commander")
+
+
+def test_stage_order_validation():
+    with pytest.raises(ValueError, match="permutation"):
+        PipelineConfig(order=("reduce", "encode", "solve"))
+    with pytest.raises(ValueError, match="start with"):
+        PipelineConfig(order=("encode", "reduce", "sbp", "simplify", "detect", "solve"))
+    # The historical Shatter order (detect before simplify) is legal.
+    config = PipelineConfig(order=SHATTER_STAGE_ORDER)
+    assert config.formula_stages() == ("sbp", "detect", "simplify")
+
+
+# ------------------------------------------------------------------ registry
+def test_registry_resolves_names_and_aliases():
+    assert get_backend("pb-pbs2").name == "pb-pbs2"
+    assert get_backend("pbs2").name == "pb-pbs2"  # legacy alias
+    names = set(available_backends())
+    assert {"pb-pbs2", "pb-galena", "pb-pueblo", "cplex-bb",
+            "cdcl-incremental", "cdcl-scratch", "brute",
+            "exact-dsatur"} <= names
+    with pytest.raises(ValueError) as exc:
+        get_backend("nope")
+    assert "registered backends" in str(exc.value)
+
+
+def test_new_backend_plugs_in_without_call_site_changes():
+    class GreedyBackend(Backend):
+        name = "test-greedy"
+        description = "DSATUR heuristic as a (non-exact) backend"
+        supports = ("chromatic",)
+        sbp_kinds = ("none",)
+
+        def run(self, problem, config, ctx):
+            from repro.graphs.coloring_heuristics import dsatur
+
+            coloring, ub = dsatur(problem.graph)
+            return Result(
+                status="SAT",  # feasible, optimality not proved
+                num_colors=ub,
+                coloring={v: c + 1 for v, c in coloring.items()},
+            )
+
+    register_backend(GreedyBackend())
+    try:
+        result = (Pipeline().solve(backend="test-greedy")
+                  .run(ChromaticProblem(queens_graph(4, 4))))
+        assert result.status == "SAT" and result.num_colors >= 5
+        assert result.provenance.backend == "test-greedy"
+        # Unsupported problem kinds fail fast at the boundary.
+        with pytest.raises(ValueError, match="decision"):
+            Pipeline().solve(backend="test-greedy").run(
+                DecisionProblem(TRIANGLE_PLUS, 3))
+    finally:
+        _REGISTRY.pop("test-greedy", None)
+
+
+# ----------------------------------------------------------------- pipelines
+def test_pipeline_builder_is_immutable():
+    base = Pipeline().symmetry(sbp_kind="nu")
+    specialized = base.solve(backend="pb-pueblo")
+    assert base.config.solve.backend == "pb-pbs2"
+    assert specialized.config.solve.backend == "pb-pueblo"
+    assert specialized.config.symmetry.sbp_kind == "nu"
+
+
+@pytest.mark.parametrize("backend", ["pb-pbs2", "pb-galena", "pb-pueblo", "cplex-bb"])
+def test_budgeted_optimize_across_backends(backend):
+    result = (Pipeline().solve(backend=backend, time_limit=30)
+              .run(BudgetedOptimize(TRIANGLE_PLUS, 4)))
+    assert result.status == "OPTIMAL" and result.num_colors == 3
+    assert TRIANGLE_PLUS.is_proper_coloring(result.coloring)
+    assert result.provenance.backend == backend
+
+
+@pytest.mark.parametrize("backend,chi", [
+    ("pb-pbs2", 4), ("cdcl-incremental", 4), ("cdcl-scratch", 4),
+    ("exact-dsatur", 4),
+])
+def test_chromatic_across_backends(backend, chi):
+    result = (Pipeline().solve(backend=backend, time_limit=60)
+              .run(ChromaticProblem(mycielski_graph(3))))
+    assert result.status == "OPTIMAL" and result.chromatic_number == chi
+
+
+def test_decision_across_backends():
+    for backend in ("pb-pbs2", "cdcl-incremental", "exact-dsatur"):
+        sat = (Pipeline().solve(backend=backend, time_limit=30)
+               .run(DecisionProblem(mycielski_graph(3), 4)))
+        unsat = (Pipeline().solve(backend=backend, time_limit=30)
+                 .run(DecisionProblem(mycielski_graph(3), 3)))
+        assert sat.status == "SAT", backend
+        assert unsat.status == "UNSAT", backend
+
+
+def test_brute_backend_matches_cdcl_on_tiny_graph():
+    tiny = Graph.from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+    brute = Pipeline().solve(backend="brute").run(ChromaticProblem(tiny))
+    cdcl = (Pipeline().solve(backend="cdcl-incremental")
+            .run(ChromaticProblem(tiny)))
+    assert brute.status == "OPTIMAL"
+    assert brute.chromatic_number == cdcl.chromatic_number == 3
+
+
+def test_stage_order_is_honoured():
+    problem = BudgetedOptimize(queens_graph(4, 4), 6)
+    default = (Pipeline().reduce(False)
+               .symmetry(sbp_kind="nu", instance_dependent=True)
+               .solve(backend="pb-pbs2", time_limit=60))
+    shatter = default.stage_order(*SHATTER_STAGE_ORDER)
+    r_default = default.run(problem)
+    r_shatter = shatter.run(problem)
+    assert r_default.status == r_shatter.status == "OPTIMAL"
+    assert r_default.num_colors == r_shatter.num_colors == 5
+    # Default order simplifies first, so detect sees fewer clauses than
+    # the Shatter order's raw encoding — both still find symmetries.
+    assert r_default.detection is not None and r_shatter.detection is not None
+    names_default = [s.name for s in r_default.stages]
+    names_shatter = [s.name for s in r_shatter.stages]
+    assert names_default.index("simplify") < names_default.index("detect")
+    assert names_shatter.index("detect") < names_shatter.index("simplify")
+
+
+def test_result_stages_and_provenance():
+    pipeline = (Pipeline().symmetry(sbp_kind="nu+sc")
+                .solve(backend="pb-pbs2", time_limit=60))
+    result = pipeline.run(BudgetedOptimize(queens_graph(4, 4), 6))
+    names = [s.name for s in result.stages]
+    assert names[0] == "reduce" and names[-1] == "solve"
+    assert "encode" in names and "simplify" in names
+    assert result.total_seconds >= result.solve_seconds >= 0
+    assert result.pipeline.preprocess
+    prov = result.provenance
+    assert prov.problem == "budgeted-optimize"
+    assert prov.backend == "pb-pbs2"
+    assert prov.config["sbp_kind"] == "nu+sc"
+    assert prov.stage_order[0] == "reduce"
+    # A fully peeled graph is solved by the reduce stage alone — the
+    # stage trace records exactly that.
+    peeled = pipeline.run(BudgetedOptimize(TRIANGLE_PLUS, 4))
+    assert peeled.status == "OPTIMAL" and peeled.num_colors == 3
+    assert [s.name for s in peeled.stages] == ["reduce"]
+    assert peeled.pipeline.peeled_vertices == 4
+
+
+def test_progress_and_cancellation():
+    events = []
+    result = (Pipeline().solve(backend="pb-pbs2", time_limit=30)
+              .run(BudgetedOptimize(queens_graph(4, 4), 6),
+                   on_progress=events.append))
+    assert result.status == "OPTIMAL"
+    assert any(e.stage == "encode" for e in events)
+    assert any(e.stage == "solve" for e in events)
+    # Cancelling immediately returns UNKNOWN with cancelled=True.
+    cancelled = (Pipeline().solve(backend="pb-pbs2", time_limit=30)
+                 .run(BudgetedOptimize(queens_graph(4, 4), 6),
+                      cancel=lambda: True))
+    assert cancelled.cancelled and cancelled.status == "UNKNOWN"
+
+
+# ----------------------------------------------------- budgets / infeasibility
+def test_zero_budget_is_unsat_not_one_color():
+    g = mycielski_graph(3)
+    for problem in (ChromaticProblem(g, max_colors=0), BudgetedOptimize(g, 0),
+                    DecisionProblem(g, 0)):
+        result = Pipeline().solve(backend="pb-pbs2").run(problem)
+        assert result.status == "UNSAT", problem
+        assert result.num_colors is None
+    # The empty graph is trivially 0-colorable within a 0 budget.
+    empty = ChromaticProblem(Graph(0), max_colors=0)
+    result = Pipeline().solve(backend="pb-pbs2").run(empty)
+    assert result.status == "OPTIMAL" and result.num_colors == 0
+
+
+def test_find_chromatic_number_zero_budget_regression():
+    # Regression: max_colors=0 used to be clamped to max(ub, 1) and
+    # silently "solved" with one color.
+    from repro.coloring.solve import find_chromatic_number
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        result = find_chromatic_number(mycielski_graph(3), max_colors=0)
+        assert result.status == "UNSAT"
+        assert result.num_colors is None
+        # A cap below chi is likewise infeasible, never loosened.
+        capped = find_chromatic_number(mycielski_graph(3), max_colors=3)
+        assert capped.status == "UNSAT"
+
+
+# ------------------------------------------------------------------- shims
+def test_legacy_entry_points_are_deprecation_shims():
+    from repro.coloring.solve import find_chromatic_number, solve_coloring
+
+    with pytest.warns(DeprecationWarning, match="repro.api"):
+        legacy = solve_coloring(TRIANGLE_PLUS, 4, time_limit=30)
+    modern = Pipeline().reduce(False).solve(
+        backend="pb-pbs2", time_limit=30).run(BudgetedOptimize(TRIANGLE_PLUS, 4))
+    assert legacy.status == modern.status == "OPTIMAL"
+    assert legacy.num_colors == modern.num_colors == 3
+
+    with pytest.warns(DeprecationWarning, match="repro.api"):
+        legacy_chi = find_chromatic_number(mycielski_graph(3), time_limit=60)
+    assert legacy_chi.status == "OPTIMAL" and legacy_chi.num_colors == 4
+
+
+def test_solve_problem_convenience():
+    result = solve_problem(BudgetedOptimize(TRIANGLE_PLUS, 4))
+    assert result.status == "OPTIMAL" and result.num_colors == 3

@@ -220,10 +220,15 @@ def test_incremental_encoding_guards_every_color():
     assert failed <= {-act[4], -act[3]}
 
 
-def test_solve_k_rejects_k_at_or_above_bound():
+def test_solve_k_rejects_k_above_bound():
     search = IncrementalKSearch(mycielski_graph(3), 4)
     with pytest.raises(ValueError):
-        search.solve_k(4)
+        search.solve_k(5)
+    # Querying at the encoded horizon itself is legal — there are simply
+    # no colors to switch off (myciel3 is 4-chromatic).
+    status, coloring, _ = search.solve_k(4)
+    assert status == SAT
+    assert is_proper(mycielski_graph(3), coloring)
 
 
 # -------------------------------------------------------------- pipeline layer

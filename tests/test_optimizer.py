@@ -73,7 +73,9 @@ def test_presets_exist_and_solve():
 
 
 def test_unknown_preset():
-    with pytest.raises(KeyError):
+    # The API boundary reports bad names as ValueError, naming the
+    # registered choices (not a deep KeyError from the preset table).
+    with pytest.raises(ValueError, match="pbs2"):
         get_preset("cplex")
 
 

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.symmetry",
     "repro.sbp",
     "repro.coloring",
+    "repro.api",
     "repro.experiments",
 ]
 
@@ -40,14 +41,16 @@ def test_version_string():
 
 def test_readme_quickstart_runs():
     # The exact snippet from README.md must work.
+    from repro.api import ChromaticProblem, Pipeline
     from repro.graphs import queens_graph
-    from repro.coloring import solve_coloring
 
-    result = solve_coloring(
-        queens_graph(5, 5), num_colors=7, sbp_kind="nu+sc", solver="pbs2",
-        time_limit=120,
+    result = (
+        Pipeline()
+        .symmetry(sbp_kind="nu+sc")
+        .solve(backend="pb-pbs2", time_limit=120)
+        .run(ChromaticProblem(queens_graph(5, 5)))
     )
-    assert result.status == "OPTIMAL" and result.num_colors == 5
+    assert result.status == "OPTIMAL" and result.chromatic_number == 5
 
 
 def test_docstrings_on_public_functions():
