@@ -7,31 +7,46 @@ The paper's common data points are queens and myciel instances; this
 bench reports all pipelines on the same instances and asserts they
 agree on the chromatic number (the paper's Table-free comparison is
 about runtimes; ours checks consistency and records the times).
+
+The repeated-SAT and ILP sweeps run through :func:`repro.batch
+.solve_many` — the same fleet runner the experiment tables use — so
+this module doubles as the batch layer's perf fixture
+(``REPRO_BENCH_JOBS`` sets the worker count; default 2).
 """
+
+import os
 
 import pytest
 
-from repro.api import BudgetedOptimize, ChromaticProblem, Pipeline
+from repro.batch import GraphSpec, TaskSpec, solve_many
 from repro.coloring.coudert import coudert_chromatic_number
 from repro.coloring.mehrotra_trick import mt_chromatic_number
 from repro.coloring.necsp import necsp_chromatic_number
 from repro.experiments.instances import get_instance
 
 CASES = [("myciel3", 4), ("myciel4", 5), ("queen5_5", 5)]
+BATCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
 
 
-def _repeated_sat(graph):
-    return (Pipeline()
-            .symmetry(sbp_kind="nu")
-            .solve(backend="cdcl-incremental", time_limit=60)
-            .run(ChromaticProblem(graph)))
+def _repeated_sat_tasks():
+    return [
+        TaskSpec(
+            graph=GraphSpec(instance=name), name=name, kind="chromatic",
+            backend="cdcl-incremental", sbp_kind="nu", time_limit=60,
+        )
+        for name, _ in CASES
+    ]
 
 
-def _ilp_pipeline(graph, budget):
-    return (Pipeline()
-            .symmetry(sbp_kind="nu+sc")
-            .solve(backend="pb-pbs2", time_limit=60)
-            .run(BudgetedOptimize(graph, budget)))
+def _ilp_tasks():
+    return [
+        TaskSpec(
+            graph=GraphSpec(instance=name), name=name,
+            kind="budgeted-optimize", max_colors=chi + 2,
+            backend="pb-pbs2", sbp_kind="nu+sc", time_limit=60,
+        )
+        for name, chi in CASES
+    ]
 
 
 @pytest.mark.parametrize("name,chi", CASES)
@@ -66,24 +81,30 @@ def test_mehrotra_trick(benchmark, name, chi, bench_json):
                    wall_seconds=round(seconds, 4))
 
 
-@pytest.mark.parametrize("name,chi", CASES)
-def test_repeated_sat(benchmark, name, chi, bench_json):
-    graph = get_instance(name).graph()
-    result = benchmark(lambda: _repeated_sat(graph))
-    assert result.chromatic_number == chi
-    timed, seconds = bench_json.timed(_repeated_sat, graph)
-    bench_json.add(f"{name}-repeated-sat", chromatic_number=chi,
-                   k_queries=[list(q) for q in timed.queries],
-                   conflicts=timed.stats.conflicts,
-                   propagations=timed.stats.propagations,
-                   wall_seconds=round(seconds, 4))
+def test_repeated_sat(benchmark, bench_json):
+    """The whole repeated-SAT sweep as one batch over the fleet runner."""
+    report = benchmark(lambda: solve_many(_repeated_sat_tasks(), jobs=BATCH_JOBS))
+    for name, chi in CASES:
+        record = report.record(name)
+        assert record["status"] == "OPTIMAL"
+        assert record["num_colors"] == chi
+        bench_json.add(f"{name}-repeated-sat", chromatic_number=chi,
+                       k_queries=record["queries"],
+                       conflicts=record["conflicts"],
+                       propagations=record["propagations"],
+                       wall_seconds=round(record["seconds"], 4))
+    bench_json.add("repeated-sat-batch", jobs=BATCH_JOBS,
+                   wall_seconds=round(report.summary["wall_seconds"], 4))
 
 
-@pytest.mark.parametrize("name,chi", CASES)
-def test_ilp_pipeline(benchmark, name, chi, bench_json):
-    graph = get_instance(name).graph()
-    result = benchmark(lambda: _ilp_pipeline(graph, chi + 2))
-    assert result.num_colors == chi
-    _, seconds = bench_json.timed(_ilp_pipeline, graph, chi + 2)
-    bench_json.add(f"{name}-ilp-pipeline", chromatic_number=chi,
-                   wall_seconds=round(seconds, 4))
+def test_ilp_pipeline(benchmark, bench_json):
+    """The ILP sweep (pb-pbs2, NU+SC) through the same batch facade."""
+    report = benchmark(lambda: solve_many(_ilp_tasks(), jobs=BATCH_JOBS))
+    for name, chi in CASES:
+        record = report.record(name)
+        assert record["status"] == "OPTIMAL"
+        assert record["num_colors"] == chi
+        bench_json.add(f"{name}-ilp-pipeline", chromatic_number=chi,
+                       wall_seconds=round(record["seconds"], 4))
+    bench_json.add("ilp-pipeline-batch", jobs=BATCH_JOBS,
+                   wall_seconds=round(report.summary["wall_seconds"], 4))

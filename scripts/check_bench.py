@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Bench-regression gate: fail CI when the perf trajectory rots.
+
+Regenerates the counter-bearing benchmark records (the ``bench-smoke``
+module set, with ``--benchmark-disable`` so no timing rounds) and
+compares the *deterministic* tracked counters against the committed
+``benchmarks/BENCH_*.json`` baselines:
+
+* solver conflicts on the descent/pigeonhole fixtures must not grow
+  beyond tolerance (search quality),
+* ``solvers_created`` on incremental descents must stay exact (the
+  descent must never silently fall back to per-K scratch solving),
+* the incremental-vs-scratch ``conflict_ratio`` must not shrink beyond
+  tolerance (the reason the incremental subsystem exists),
+* the preprocessing counters (units, subsumed) must stay exact at
+  fixed inputs.
+
+Wall-clock fields are deliberately *not* gated — CI runners are noisy;
+counters are the stable signal.  On failure the regenerated files are
+left in place so the diff against the committed baselines is
+inspectable (and uploadable as a CI artifact); an intentional perf
+change ships by committing the regenerated BENCH files with the PR.
+
+Usage::
+
+    python scripts/check_bench.py [--skip-run] [--slack FACTOR]
+
+``--skip-run`` compares the BENCH files as they are on disk (useful
+right after a manual ``make bench-json``); ``--slack`` scales every
+tolerance (e.g. 2.0 doubles them) for exceptionally noisy machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO, "benchmarks")
+
+# The modules that produce every gated counter (the bench-smoke set).
+MODULES = ("bench_solver_micro.py", "bench_preprocessing.py")
+
+# One gate: (file stem, entry match, field, direction, tolerance).
+#   direction "max": fresh <= base * (1 + tol)   (counter must not grow)
+#   direction "min": fresh >= base * (1 - tol)   (ratio must not shrink)
+#   direction "eq":  |fresh - base| <= base * tol (deterministic counter)
+GATES = [
+    # The incremental K-search must keep beating scratch on conflicts.
+    ("solver_micro", {"instance": "descent-aggregate"},
+     "conflict_ratio", "min", 0.15),
+    # Incremental descents: conflicts bounded, exactly one solver ever.
+    ("solver_micro", {"instance": "descent-myciel4", "incremental": True},
+     "conflicts", "max", 0.25),
+    ("solver_micro", {"instance": "descent-myciel4", "incremental": True},
+     "solvers_created", "eq", 0.0),
+    ("solver_micro", {"instance": "descent-queens7_7", "incremental": True},
+     "conflicts", "max", 0.50),
+    ("solver_micro", {"instance": "descent-queens7_7", "incremental": True},
+     "solvers_created", "eq", 0.0),
+    ("solver_micro", {"instance": "smoke-incremental-guard"},
+     "solvers_created", "eq", 0.0),
+    # CDCL search quality on the classic refutation fixture.
+    ("solver_micro", {"instance": "pigeonhole-7-6"},
+     "conflicts", "max", 0.25),
+    # Preprocessing counters are exact at fixed inputs.
+    ("preprocessing", {"instance": "preprocess-book-encoding"},
+     "units", "eq", 0.0),
+    ("preprocessing", {"instance": "subsumption-indexed-10k"},
+     "subsumed", "eq", 0.0),
+]
+
+
+def bench_path(stem: str) -> str:
+    return os.path.join(BENCH_DIR, f"BENCH_{stem}.json")
+
+
+def load_results(path: str):
+    with open(path) as fh:
+        return json.load(fh).get("results", [])
+
+
+def find_entry(results, match):
+    for entry in results:
+        if all(entry.get(k) == v for k, v in match.items()):
+            return entry
+    return None
+
+
+def regenerate() -> int:
+    """Re-run the gated bench modules (rewrites BENCH files in place)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable, "-m", "pytest", "-q", "--benchmark-disable",
+    ] + [os.path.join(BENCH_DIR, m) for m in MODULES]
+    print(f"$ {' '.join(cmd)}", flush=True)
+    return subprocess.call(cmd, cwd=REPO, env=env)
+
+
+def check(baselines, slack: float) -> int:
+    failures = 0
+    print(f"{'file':14s} {'entry':28s} {'field':16s} "
+          f"{'baseline':>10s} {'fresh':>10s}  verdict")
+    for stem, match, field, direction, tol in GATES:
+        tol *= slack
+        base_entry = find_entry(baselines.get(stem, []), match)
+        fresh_entry = find_entry(load_results(bench_path(stem)), match)
+        label = ",".join(f"{v}" for v in match.values())
+        if base_entry is None or field not in base_entry:
+            # Nothing committed to gate against yet: record, don't fail.
+            print(f"{stem:14s} {label:28s} {field:16s} "
+                  f"{'-':>10s} {'-':>10s}  NEW (no baseline)")
+            continue
+        if fresh_entry is None or field not in fresh_entry:
+            print(f"{stem:14s} {label:28s} {field:16s} "
+                  f"{base_entry.get(field, '-')!s:>10s} {'-':>10s}  MISSING")
+            failures += 1
+            continue
+        base = float(base_entry[field])
+        fresh = float(fresh_entry[field])
+        if direction == "max":
+            ok = fresh <= base * (1.0 + tol)
+        elif direction == "min":
+            ok = fresh >= base * (1.0 - tol)
+        else:
+            ok = abs(fresh - base) <= abs(base) * tol
+        verdict = "ok" if ok else f"REGRESSION ({direction}, tol {tol:.0%})"
+        print(f"{stem:14s} {label:28s} {field:16s} "
+              f"{base:>10.4g} {fresh:>10.4g}  {verdict}")
+        failures += 0 if ok else 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--skip-run", action="store_true",
+                        help="compare the BENCH files already on disk "
+                             "instead of regenerating them first")
+    parser.add_argument("--slack", type=float, default=1.0,
+                        help="scale every tolerance by this factor")
+    args = parser.parse_args(argv)
+
+    stems = sorted({stem for stem, *_ in GATES})
+    baselines = {stem: load_results(bench_path(stem)) for stem in stems}
+    if not args.skip_run:
+        code = regenerate()
+        if code != 0:
+            print(f"bench regeneration failed (pytest exit {code})")
+            return code
+    failures = check(baselines, args.slack)
+    if failures:
+        print(f"\n{failures} bench gate(s) failed. If the change is "
+              "intentional, commit the regenerated benchmarks/BENCH_*.json "
+              "baselines with the PR.")
+        return 1
+    print("\nall bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

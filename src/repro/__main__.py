@@ -10,6 +10,8 @@ Usage::
     python -m repro stats graph.col
     python -m repro detect graph.col --k 8
     python -m repro backends
+    python -m repro batch manifest.json [--jobs 4] [--task-timeout 30]
+        [--fallback exact-dsatur] [--out results.jsonl]
 
 Every solving command runs through :mod:`repro.api`: the arguments
 build a :class:`~repro.api.Pipeline` (stage configs + backend name)
@@ -21,7 +23,9 @@ ILP backend; ``chromatic`` computes the chromatic number
 ``cdcl-scratch`` (``--no-incremental``).  ``stats`` prints graph
 statistics and heuristic bounds; ``detect`` reports the symmetry
 statistics of the encoded instance; ``backends`` lists the registered
-backend table.
+backend table.  ``batch`` fans a JSON/JSONL manifest of tasks across a
+worker pool (:mod:`repro.batch`) and streams one JSONL record per task
+in manifest order, plus an aggregate summary.
 """
 
 from __future__ import annotations
@@ -151,6 +155,58 @@ def cmd_detect(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    import json
+
+    from .batch import BatchRunner, load_manifest, load_plugins
+
+    load_plugins(args.plugin)
+    manifest = load_manifest(args.manifest)
+    if not manifest.tasks:
+        print(f"manifest {args.manifest} contains no tasks", file=sys.stderr)
+        return 2
+    fallback = [name for spec in args.fallback for name in spec.split(",") if name]
+
+    def progress(record) -> None:
+        if args.quiet:
+            return
+        label = record.get("num_colors")
+        label = "" if label is None else f" colors={label}"
+        print(
+            f"  [{record['index'] + 1}/{len(manifest.tasks)}] "
+            f"{record['task']:24s} {record['status']:8s}{label} "
+            f"backend={record['backend']} "
+            f"({record.get('seconds', 0) or 0:.2f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def run(jsonl) -> int:
+        runner = BatchRunner(
+            manifest.tasks,
+            jobs=args.jobs,
+            task_timeout=args.task_timeout,
+            fallback=fallback,
+            retries=args.retries,
+            include_colorings=args.colorings,
+            plugins=tuple(args.plugin) + manifest.plugins,
+            on_record=progress,
+            jsonl=jsonl,
+        )
+        report = runner.run()
+        print(json.dumps(report.summary, sort_keys=True), file=sys.stderr)
+        outcomes = report.summary["outcomes"]
+        return 1 if outcomes.get("error", 0) or outcomes.get("died", 0) else 0
+
+    if args.out == "-":
+        return run(sys.stdout)
+    with open(args.out, "w") as fh:
+        code = run(fh)
+    if not args.quiet:
+        print(f"wrote {len(manifest.tasks)} records to {args.out}", file=sys.stderr)
+    return code
+
+
 def cmd_backends(args) -> int:
     print(f"{'name':18s} {'problems':34s} description")
     for name, backend in available_backends().items():
@@ -236,6 +292,33 @@ def main(argv=None) -> int:
     p_backends = sub.add_parser(
         "backends", help="list the registered solve backends")
     p_backends.set_defaults(func=cmd_backends)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a manifest of problems across a parallel worker pool")
+    p_batch.add_argument("manifest", help="JSON or JSONL task manifest")
+    p_batch.add_argument("--jobs", "-j", type=int, default=1,
+                         help="concurrent worker processes (0 = run inline "
+                              "in this process, cooperative timeouts only)")
+    p_batch.add_argument("--task-timeout", type=float, default=None,
+                         help="wall-clock seconds per attempt; a timed-out "
+                              "attempt moves to the next fallback backend")
+    p_batch.add_argument("--fallback", action="append", default=[],
+                         help="backend(s) appended to every task's fallback "
+                              "chain (repeatable or comma-separated)")
+    p_batch.add_argument("--retries", type=int, default=1,
+                         help="retries per backend when a worker dies")
+    p_batch.add_argument("--out", default="-",
+                         help="JSONL output path ('-' = stdout; the summary "
+                              "always also goes to stderr)")
+    p_batch.add_argument("--plugin", action="append", default=[],
+                         help="module name or .py path imported in every "
+                              "worker (e.g. to register custom backends)")
+    p_batch.add_argument("--colorings", action="store_true",
+                         help="include the full vertex coloring in records")
+    p_batch.add_argument("--quiet", action="store_true",
+                         help="suppress per-task progress on stderr")
+    p_batch.set_defaults(func=cmd_batch)
 
     args = parser.parse_args(argv)
     return args.func(args)

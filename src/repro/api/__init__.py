@@ -73,6 +73,17 @@ from .results import (
 )
 from .session import Session
 
+
+def __getattr__(name):
+    # Lazy so importing the api never pays for (or cycles into) the
+    # batch subsystem; `from repro.api import solve_many` still works.
+    if name == "solve_many":
+        from ..batch import solve_many
+
+        return solve_many
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Backend",
     "BudgetedOptimize",
@@ -100,5 +111,6 @@ __all__ = [
     "known_backend_names",
     "register_backend",
     "resolve_backend_name",
+    "solve_many",
     "solve_problem",
 ]

@@ -1,0 +1,512 @@
+"""The parallel fleet runner: many problems, a pool of worker processes.
+
+:class:`BatchRunner` fans a list of :class:`~repro.batch.manifest.TaskSpec`
+across up to ``jobs`` concurrent worker processes (one process per
+attempt, so a hung or crashed solver never takes the pool down), with:
+
+* **per-task wall-clock timeouts** — each attempt gets ``task_timeout``
+  seconds; inside the worker the engine's ``SolveConfig.time_limit`` and
+  the ``RunContext`` cancel predicate are both armed with the deadline
+  (the cooperative path), and the coordinator hard-kills any worker that
+  overruns the deadline by the kill grace (the insurance path);
+* **backend-fallback chains** — a timed-out or inconclusive attempt is
+  re-queued on the next backend of the task's chain (e.g.
+  ``cdcl-incremental`` -> ``cplex-bb``), with a fresh timeout budget;
+* **retry on worker death** — a worker that dies without reporting (OOM
+  kill, solver crash) is retried up to ``retries`` times on the same
+  backend before the chain advances;
+* **deterministic ordering** — records are emitted in manifest order no
+  matter the completion order, so ``--jobs 4`` output is byte-comparable
+  with ``--jobs 1``;
+* **streaming JSONL** — each finalized record is written (and handed to
+  ``on_record``) as soon as every earlier task has finalized, plus one
+  aggregate summary at the end (per-backend wins, timeouts, total wall).
+
+``jobs=0`` runs every attempt inline in the calling process — no
+subprocesses, cooperative timeouts only — which is the right mode for
+debugging and for platforms without ``fork``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.connection
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
+
+from .manifest import TaskSpec, as_task, load_plugins
+from .records import conclusive, error_record, result_to_record
+
+# Outcomes an attempt can end with.  "ok" finalizes; "timeout" /
+# "inconclusive" advance the fallback chain; "died" retries, then
+# advances; "error" advances immediately (a deterministic exception
+# will not go away on retry).
+_ADVANCING = ("timeout", "inconclusive", "error")
+
+
+def _execute_attempt(
+    task: TaskSpec,
+    backend: str,
+    task_timeout: Optional[float],
+    include_coloring: bool,
+) -> Tuple[str, Dict[str, object]]:
+    """Run one (task, backend) attempt to completion in this process."""
+    start = time.monotonic()
+    deadline = start + task_timeout if task_timeout is not None else None
+
+    def out_of_time() -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
+    try:
+        graph = task.graph.build()
+        problem = task.problem(graph)
+        time_limit = task.time_limit
+        if task_timeout is not None:
+            time_limit = (
+                task_timeout if time_limit is None
+                else min(time_limit, task_timeout)
+            )
+        pipeline = task.pipeline(backend=backend, time_limit=time_limit)
+        result = pipeline.run(
+            problem, cancel=out_of_time if deadline is not None else None
+        )
+    except Exception as exc:  # noqa: BLE001 - reported, never fatal to the batch
+        return "error", error_record(
+            f"{type(exc).__name__}: {exc}", seconds=time.monotonic() - start
+        )
+    record = result_to_record(result, include_coloring=include_coloring)
+    record["seconds"] = round(time.monotonic() - start, 6)
+    if conclusive(result, task.kind):
+        outcome = "ok"
+    elif result.cancelled or out_of_time():
+        outcome = "timeout"
+        record["timed_out"] = True
+    else:
+        # The engine gave up inside its own budget (UNKNOWN / SAT bound
+        # not proved) — let the fallback chain have a go.
+        outcome = "inconclusive"
+    return outcome, record
+
+
+def _worker_entry(payload: Dict[str, object], conn) -> None:
+    """Subprocess entry point: run one attempt, send (outcome, record)."""
+    try:
+        load_plugins(payload["plugins"])
+        task = TaskSpec.from_dict(payload["task"])
+        message = _execute_attempt(
+            task,
+            payload["backend"],
+            payload["task_timeout"],
+            payload["include_coloring"],
+        )
+    except BaseException as exc:  # noqa: BLE001 - must report, not vanish
+        message = ("error", error_record(f"{type(exc).__name__}: {exc}"))
+    try:
+        conn.send(message)
+    except (BrokenPipeError, OSError):
+        pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class BatchReport:
+    """What a batch run produced: ordered records + the aggregate summary."""
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(self, task_name: str) -> Dict[str, object]:
+        """The record of the named task (``KeyError`` if absent)."""
+        for record in self.records:
+            if record.get("task") == task_name:
+                return record
+        raise KeyError(f"no record for task {task_name!r}")
+
+
+class _TaskState:
+    """Coordinator-side progress of one task through its backend chain."""
+
+    __slots__ = ("chain", "backend_idx", "retry", "attempts", "best_partial")
+
+    def __init__(self, chain: Tuple[str, ...]):
+        self.chain = chain
+        self.backend_idx = 0
+        self.retry = 0
+        self.attempts: List[Dict[str, object]] = []
+        # The most informative inconclusive record seen so far (e.g. a
+        # SAT bound from a timed-out chromatic descent) with the backend
+        # that produced it — kept so a later attempt ending worse
+        # (crash, error) cannot discard an answer already in hand.
+        self.best_partial: Optional[Tuple[str, Dict[str, object]]] = None
+
+    @property
+    def backend(self) -> str:
+        return self.chain[self.backend_idx]
+
+    def has_fallback(self) -> bool:
+        return self.backend_idx + 1 < len(self.chain)
+
+
+class _Flight:
+    """One in-flight worker process."""
+
+    __slots__ = ("index", "process", "conn", "started", "kill_at")
+
+    def __init__(self, index, process, conn, started, kill_at):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.started = started
+        self.kill_at = kill_at
+
+
+class _OrderedEmitter:
+    """Buffers finalized records and releases the contiguous prefix."""
+
+    def __init__(self, total: int, on_record, jsonl: Optional[IO[str]]):
+        self._records: List[Optional[Dict[str, object]]] = [None] * total
+        self._cursor = 0
+        self._on_record = on_record
+        self._jsonl = jsonl
+
+    def add(self, index: int, record: Dict[str, object]) -> None:
+        self._records[index] = record
+        while (
+            self._cursor < len(self._records)
+            and self._records[self._cursor] is not None
+        ):
+            ready = self._records[self._cursor]
+            if self._jsonl is not None:
+                self._jsonl.write(json.dumps(ready, sort_keys=True) + "\n")
+                self._jsonl.flush()
+            if self._on_record is not None:
+                self._on_record(ready)
+            self._cursor += 1
+
+    def records(self) -> List[Dict[str, object]]:
+        return [r for r in self._records if r is not None]
+
+
+class BatchRunner:
+    """Run a list of batch tasks across a worker pool; collect records.
+
+    ``tasks`` items may be :class:`TaskSpec`, manifest-style dicts, api
+    ``Problem`` objects, or ``(name, Problem)`` pairs.  ``fallback``
+    appends a runner-level backend chain to every task.  ``jsonl`` is an
+    optional open text file receiving one record per line (in manifest
+    order, streamed) plus a final ``{"summary": ...}`` line.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[Union[TaskSpec, Dict, object]],
+        jobs: int = 1,
+        task_timeout: Optional[float] = None,
+        fallback: Sequence[str] = (),
+        retries: int = 1,
+        kill_grace: Optional[float] = None,
+        include_colorings: bool = False,
+        plugins: Sequence[str] = (),
+        on_record=None,
+        jsonl: Optional[IO[str]] = None,
+    ):
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
+        load_plugins(plugins)
+        self.plugins = tuple(plugins)
+        self.tasks = [
+            as_task(item, i).with_global_fallback(fallback)
+            for i, item in enumerate(tasks)
+        ]
+        from ..api.backends import resolve_backend_name
+
+        for task in self.tasks:
+            for name in task.backends:
+                resolve_backend_name(name)  # fail fast, names the choices
+        self.jobs = jobs
+        self.task_timeout = task_timeout
+        self.retries = retries
+        if kill_grace is None and task_timeout is not None:
+            kill_grace = max(1.0, 0.5 * task_timeout)
+        self.kill_grace = kill_grace
+        self.include_colorings = include_colorings
+        self._on_record = on_record
+        self._jsonl = jsonl
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> BatchReport:
+        start = time.monotonic()
+        states = [_TaskState(task.backends) for task in self.tasks]
+        emitter = _OrderedEmitter(len(self.tasks), self._on_record, self._jsonl)
+        if self.jobs == 0:
+            self._run_inline(states, emitter)
+        else:
+            self._run_pool(states, emitter)
+        report = BatchReport(records=emitter.records())
+        report.summary = self._summarize(report.records, time.monotonic() - start)
+        if self._jsonl is not None:
+            self._jsonl.write(
+                json.dumps({"summary": report.summary}, sort_keys=True) + "\n"
+            )
+            self._jsonl.flush()
+        return report
+
+    # ----------------------------------------------------------- inline mode
+    def _run_inline(self, states, emitter) -> None:
+        for index, task in enumerate(self.tasks):
+            state = states[index]
+            while True:
+                outcome, record = _execute_attempt(
+                    task, state.backend, self.task_timeout,
+                    self.include_colorings,
+                )
+                if self._settle(index, state, outcome, record, emitter):
+                    break
+
+    # ------------------------------------------------------------- pool mode
+    def _run_pool(self, states, emitter) -> None:
+        ctx = self._mp_context()
+        pending = deque(range(len(self.tasks)))
+        flights: Dict[int, _Flight] = {}
+        while pending or flights:
+            while pending and len(flights) < self.jobs:
+                index = pending.popleft()
+                flights[index] = self._launch(ctx, index, states[index])
+            self._wait(flights)
+            now = time.monotonic()
+            for index in list(flights):
+                flight = flights[index]
+                state = states[index]
+                if flight.conn.poll():
+                    outcome, record = self._receive(flight)
+                    self._reap(flight)
+                    del flights[index]
+                    if not self._settle(index, state, outcome, record, emitter):
+                        pending.append(index)
+                elif not flight.process.is_alive():
+                    # Died without reporting: crash or external kill.
+                    # (Read the exit code before _reap closes the handle —
+                    # and before draining: a message may still have raced
+                    # into the pipe between poll() and the death check.)
+                    exitcode = flight.process.exitcode
+                    if flight.conn.poll():
+                        outcome, record = self._receive(flight)
+                        self._reap(flight)
+                        del flights[index]
+                        if not self._settle(index, state, outcome, record, emitter):
+                            pending.append(index)
+                        continue
+                    self._reap(flight)
+                    del flights[index]
+                    record = error_record(
+                        f"worker died (exit code {exitcode})",
+                        seconds=now - flight.started,
+                    )
+                    if not self._settle(index, state, "died", record, emitter):
+                        pending.append(index)
+                elif flight.kill_at is not None and now >= flight.kill_at:
+                    # Overran the deadline past the kill grace: the
+                    # cooperative path failed, pull the plug.
+                    self._kill(flight)
+                    self._reap(flight)
+                    del flights[index]
+                    record = error_record(
+                        f"killed after exceeding the {self.task_timeout}s "
+                        "task timeout",
+                        seconds=now - flight.started,
+                    )
+                    record["status"] = "UNKNOWN"
+                    record["timed_out"] = True
+                    if not self._settle(index, state, "timeout", record, emitter):
+                        pending.append(index)
+
+    @staticmethod
+    def _mp_context():
+        # The platform's default start method: fork on Linux (cheap),
+        # spawn on macOS/Windows — forcing fork there hits the Apple
+        # objc fork-safety abort.  _worker_entry is importable and its
+        # payload picklable, so spawn works too.
+        return multiprocessing.get_context()
+
+    def _launch(self, ctx, index: int, state: _TaskState) -> _Flight:
+        recv, send = ctx.Pipe(duplex=False)
+        payload = {
+            "task": self.tasks[index].to_dict(),
+            "backend": state.backend,
+            "task_timeout": self.task_timeout,
+            "include_coloring": self.include_colorings,
+            "plugins": self.plugins,
+        }
+        process = ctx.Process(
+            target=_worker_entry, args=(payload, send), daemon=True
+        )
+        process.start()
+        send.close()  # the parent only reads
+        started = time.monotonic()
+        kill_at = None
+        if self.task_timeout is not None:
+            kill_at = started + self.task_timeout + (self.kill_grace or 0.0)
+        return _Flight(index, process, recv, started, kill_at)
+
+    def _wait(self, flights: Dict[int, _Flight]) -> None:
+        """Block until a worker reports, dies, or a kill deadline nears."""
+        if not flights:
+            return
+        now = time.monotonic()
+        timeout = 0.5
+        for flight in flights.values():
+            if flight.kill_at is not None:
+                timeout = min(timeout, max(0.0, flight.kill_at - now))
+        handles = [f.conn for f in flights.values()]
+        handles += [f.process.sentinel for f in flights.values()]
+        multiprocessing.connection.wait(handles, timeout=timeout)
+
+    @staticmethod
+    def _receive(flight: _Flight) -> Tuple[str, Dict[str, object]]:
+        try:
+            return flight.conn.recv()
+        except (EOFError, OSError):
+            return "died", error_record("worker pipe closed without a result")
+
+    @staticmethod
+    def _kill(flight: _Flight) -> None:
+        flight.process.terminate()
+        flight.process.join(1.0)
+        if flight.process.is_alive():
+            flight.process.kill()
+            flight.process.join(1.0)
+
+    @staticmethod
+    def _reap(flight: _Flight) -> None:
+        flight.conn.close()
+        flight.process.join(10.0)
+        if flight.process.is_alive():
+            flight.process.kill()
+            flight.process.join(1.0)
+        flight.process.close()
+
+    # ------------------------------------------------------------ settlement
+    def _settle(
+        self, index: int, state: _TaskState, outcome: str,
+        record: Dict[str, object], emitter: _OrderedEmitter,
+    ) -> bool:
+        """Fold one attempt outcome into the task state.
+
+        Returns True when the task is finalized, False when it was
+        re-queued (retry or fallback promotion).
+        """
+        state.attempts.append({
+            "backend": state.backend,
+            "outcome": outcome,
+            "seconds": record.get("seconds"),
+        })
+        if outcome == "ok":
+            self._finalize(index, state, outcome, record, emitter)
+            return True
+        colors = record.get("num_colors")
+        if colors is not None:
+            best = state.best_partial
+            if best is None or best[1].get("num_colors") > colors:
+                state.best_partial = (state.backend, record)
+        if outcome == "died" and state.retry < self.retries:
+            state.retry += 1
+            return False
+        if outcome in _ADVANCING or outcome == "died":
+            if state.has_fallback():
+                state.backend_idx += 1
+                state.retry = 0
+                return False
+        self._finalize(index, state, outcome, record, emitter)
+        return True
+
+    def _finalize(
+        self, index: int, state: _TaskState, outcome: str,
+        record: Dict[str, object], emitter: _OrderedEmitter,
+    ) -> None:
+        backend = state.backend
+        if (
+            outcome != "ok"
+            and record.get("num_colors") is None
+            and state.best_partial is not None
+        ):
+            # The chain ended on a worse outcome than an earlier
+            # attempt: report the best answer in hand, keep the
+            # chain-ending outcome in the envelope.
+            backend, record = state.best_partial
+        final = dict(record)
+        final["task"] = self.tasks[index].describe()
+        final["index"] = index
+        final["backend"] = backend
+        final["outcome"] = outcome
+        final["attempts"] = state.attempts
+        emitter.add(index, final)
+
+    # --------------------------------------------------------------- summary
+    def _summarize(
+        self, records: List[Dict[str, object]], wall: float
+    ) -> Dict[str, object]:
+        wins: Dict[str, int] = {}
+        outcomes: Dict[str, int] = {}
+        fallbacks = retries = 0
+        for record in records:
+            outcomes[record["outcome"]] = outcomes.get(record["outcome"], 0) + 1
+            if record["outcome"] == "ok":
+                wins[record["backend"]] = wins.get(record["backend"], 0) + 1
+            attempts = record.get("attempts", ())
+            backends_tried = {a["backend"] for a in attempts}
+            fallbacks += len(backends_tried) - 1
+            retries += len(attempts) - len(backends_tried)
+        return {
+            "tasks": len(records),
+            "jobs": self.jobs,
+            "task_timeout": self.task_timeout,
+            "outcomes": dict(sorted(outcomes.items())),
+            "backend_wins": dict(sorted(wins.items())),
+            "fallback_promotions": fallbacks,
+            "retries": retries,
+            "wall_seconds": round(wall, 6),
+        }
+
+
+def solve_many(
+    tasks: Sequence[Union[TaskSpec, Dict, object]],
+    jobs: int = 1,
+    task_timeout: Optional[float] = None,
+    fallback: Sequence[str] = (),
+    retries: int = 1,
+    kill_grace: Optional[float] = None,
+    include_colorings: bool = False,
+    plugins: Sequence[str] = (),
+    on_record=None,
+    jsonl_path: Optional[str] = None,
+) -> BatchReport:
+    """Solve many problems across a worker pool; records in input order.
+
+    The batch facade over :class:`~repro.api.Pipeline`: each item is a
+    :class:`TaskSpec`, a manifest-style dict, an api ``Problem``, or a
+    ``(name, Problem)`` pair.  See :class:`BatchRunner` for the timeout /
+    fallback / retry semantics; ``jsonl_path`` streams records (plus the
+    final summary line) to a file as tasks finalize.
+    """
+    kwargs = dict(
+        jobs=jobs, task_timeout=task_timeout, fallback=fallback,
+        retries=retries, kill_grace=kill_grace,
+        include_colorings=include_colorings, plugins=plugins,
+        on_record=on_record,
+    )
+    if jsonl_path is not None:
+        with open(jsonl_path, "w") as fh:
+            return BatchRunner(tasks, jsonl=fh, **kwargs).run()
+    return BatchRunner(tasks, **kwargs).run()

@@ -41,6 +41,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment", choices=EXPERIMENTS)
     parser.add_argument("--scale", default="tiny", help="bench | tiny | small | paper")
+    parser.add_argument("--jobs", "-j", type=int, default=0,
+                        help="fan table solves across N worker processes "
+                             "via repro.batch (0 = sequential in-process)")
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write <experiment>.json/.md artifacts to DIR")
@@ -66,17 +69,17 @@ def main(argv=None) -> int:
         emit("table2", rows, render_table2(rows))
     if "table3" in want:
         print(f"== Table 3 (scale={scale.name}, K={scale.k_primary}) ==")
-        table = table3(scale, verbose=args.verbose)
+        table = table3(scale, verbose=args.verbose, jobs=args.jobs)
         emit("table3", list(table.cells.values()),
              render_solver_table(table, scale.solvers))
     if "table4" in want:
         print(f"== Table 4 (scale={scale.name}, K={scale.k_secondary}) ==")
-        table = table4(scale, verbose=args.verbose)
+        table = table4(scale, verbose=args.verbose, jobs=args.jobs)
         emit("table4", list(table.cells.values()),
              render_solver_table(table, scale.solvers))
     if "table5" in want:
         print(f"== Table 5 (scale={scale.name}, K={scale.k_primary}) ==")
-        records = table5(scale, verbose=args.verbose)
+        records = table5(scale, verbose=args.verbose, jobs=args.jobs)
         emit("table5", records, render_table5(records, scale.time_limit))
     if "figure1" in want:
         print("== Figure 1 ==")

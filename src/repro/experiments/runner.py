@@ -5,6 +5,12 @@ with/without instance-dependent SBPs): the summed runtime over all 20
 benchmarks (timeouts charged at the limit) and the number of instances
 solved.  :class:`CellResult` is one such aggregate; ``run_cell``
 produces it.
+
+``run_cell(..., jobs=N)`` fans the cell's instances across the
+:mod:`repro.batch` worker pool (one slow instance no longer stalls the
+whole table); ``jobs=0`` (the default) keeps the historical sequential
+in-process loop, which shares the symmetry-detection cache across
+cells.
 """
 
 from __future__ import annotations
@@ -193,6 +199,65 @@ def run_one(
     )
 
 
+def cell_tasks(
+    instances: Sequence[Instance],
+    k: int,
+    solver: str,
+    sbp_kind: str,
+    instance_dependent: bool,
+    time_limit: float,
+    detection_node_limit: int,
+    preprocess: bool = True,
+    reduce: bool = False,
+    incremental: bool = True,
+) -> List:
+    """The batch TaskSpecs equivalent to one table cell's run_one loop."""
+    from ..batch.manifest import GraphSpec, TaskSpec
+
+    return [
+        TaskSpec(
+            graph=GraphSpec(instance=instance.name),
+            name=instance.name,
+            kind="budgeted-optimize",
+            max_colors=k,
+            backend=solver,
+            sbp_kind=sbp_kind,
+            instance_dependent=instance_dependent,
+            detection_node_limit=detection_node_limit,
+            time_limit=time_limit,
+            reduce=reduce,
+            simplify=preprocess,
+            incremental=incremental,
+        )
+        for instance in instances
+    ]
+
+
+def record_to_run_record(
+    record: Dict, k: int, solver: str, sbp_kind: str, instance_dependent: bool
+) -> RunRecord:
+    """Map one batch JSONL record back to the tables' RunRecord shape.
+
+    Like ``run_one``, the reported time is solver time when the solve
+    stage ran; a hard-killed worker has no stage trace, so its full
+    wall clock is charged instead (the caller clamps at the limit).
+    """
+    seconds = record.get("solve_seconds")
+    if seconds is None:
+        seconds = record.get("seconds") or 0.0
+    return RunRecord(
+        instance=str(record.get("task")),
+        solver=solver,
+        sbp_kind=sbp_kind,
+        instance_dependent=instance_dependent,
+        k=k,
+        status=str(record.get("status")),
+        num_colors=record.get("num_colors"),
+        seconds=float(seconds),
+        solved=record.get("outcome") == "ok",
+    )
+
+
 def run_cell(
     instances: Sequence[Instance],
     k: int,
@@ -205,22 +270,53 @@ def run_cell(
     preprocess: bool = True,
     reduce: bool = False,
     incremental: bool = True,
+    jobs: int = 0,
+    task_timeout: Optional[float] = None,
 ) -> CellResult:
-    """Aggregate one table cell over the instance set."""
+    """Aggregate one table cell over the instance set.
+
+    ``jobs >= 1`` runs the cell through the :mod:`repro.batch` pool
+    (records come back in instance order, so the aggregate is
+    deterministic); ``jobs=0`` keeps the sequential in-process loop.
+    Both paths bound the *solver* with ``time_limit``, like the paper;
+    ``task_timeout`` optionally adds a hard wall-clock kill per task
+    (which also charges encode/detect time, so it is off by default to
+    keep parallel tables comparable with sequential ones).
+    """
     cell = CellResult(solver=solver, sbp_kind=sbp_kind, instance_dependent=instance_dependent)
-    for instance in instances:
-        record = run_one(
-            instance, k, solver, sbp_kind, instance_dependent,
-            time_limit, detection_node_limit,
-            preprocess=preprocess, reduce=reduce, incremental=incremental,
-        )
+
+    def report(record: RunRecord) -> None:
         cell.add(record, time_limit)
         if verbose:
             print(
-                f"    {instance.name:12s} {record.status:8s} "
+                f"    {record.instance:12s} {record.status:8s} "
                 f"colors={record.num_colors} {record.seconds:7.2f}s",
                 flush=True,
             )
+
+    if jobs:
+        from ..batch import solve_many
+
+        tasks = cell_tasks(
+            instances, k, solver, sbp_kind, instance_dependent,
+            time_limit, detection_node_limit,
+            preprocess=preprocess, reduce=reduce, incremental=incremental,
+        )
+        batch = solve_many(
+            tasks, jobs=jobs, task_timeout=task_timeout,
+            on_record=lambda rec: report(
+                record_to_run_record(rec, k, solver, sbp_kind, instance_dependent)
+            ),
+        )
+        assert len(batch) == len(instances)
+        return cell
+
+    for instance in instances:
+        report(run_one(
+            instance, k, solver, sbp_kind, instance_dependent,
+            time_limit, detection_node_limit,
+            preprocess=preprocess, reduce=reduce, incremental=incremental,
+        ))
     return cell
 
 

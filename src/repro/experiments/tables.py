@@ -164,8 +164,13 @@ def solver_table(
     k: int,
     sbp_rows: Sequence[str] = SBP_ROWS,
     verbose: bool = False,
+    jobs: int = 0,
 ) -> SolverTable:
-    """Run the full (SBP row) x (solver) x (inst-dep?) grid at color budget k."""
+    """Run the full (SBP row) x (solver) x (inst-dep?) grid at color budget k.
+
+    ``jobs >= 1`` parallelizes each cell's instances through the
+    :mod:`repro.batch` worker pool.
+    """
     table = SolverTable(k=k, scale_name=scale.name)
     instances = scale.instances()
     for sbp in sbp_rows:
@@ -176,20 +181,20 @@ def solver_table(
                 cell = run_cell(
                     instances, k, solver, sbp, inst_dep,
                     scale.time_limit, scale.detection_node_limit,
-                    verbose=verbose,
+                    verbose=verbose, jobs=jobs,
                 )
                 table.cells[(sbp, solver, inst_dep)] = cell
     return table
 
 
-def table3(scale: ScalePreset, verbose: bool = False) -> SolverTable:
+def table3(scale: ScalePreset, verbose: bool = False, jobs: int = 0) -> SolverTable:
     """Paper Table 3: the K=20 analog (``scale.k_primary``)."""
-    return solver_table(scale, scale.k_primary, verbose=verbose)
+    return solver_table(scale, scale.k_primary, verbose=verbose, jobs=jobs)
 
 
-def table4(scale: ScalePreset, verbose: bool = False) -> SolverTable:
+def table4(scale: ScalePreset, verbose: bool = False, jobs: int = 0) -> SolverTable:
     """Paper Table 4: the K=30 analog (``scale.k_secondary``)."""
-    return solver_table(scale, scale.k_secondary, verbose=verbose)
+    return solver_table(scale, scale.k_secondary, verbose=verbose, jobs=jobs)
 
 
 def render_solver_table(table: SolverTable, solvers: Sequence[str]) -> str:
@@ -215,26 +220,58 @@ def render_solver_table(table: SolverTable, solvers: Sequence[str]) -> str:
 
 
 # ------------------------------------------------------------------ Table 5
-def table5(scale: ScalePreset, verbose: bool = False) -> List:
-    """Appendix Table 5: per-instance queens results, every construction."""
-    records = []
+def table5(scale: ScalePreset, verbose: bool = False, jobs: int = 0) -> List:
+    """Appendix Table 5: per-instance queens results, every construction.
+
+    The grid's (instance, sbp, solver, inst-dep) combinations are
+    independent, so ``jobs >= 1`` runs the whole table as one batch
+    (results still arrive in grid order).
+    """
     names = [n for n in QUEENS_NAMES if n in scale.instance_names] or list(QUEENS_NAMES[:2])
-    for name in names:
-        instance = get_instance(name)
-        for sbp in SBP_ROWS:
-            for solver in scale.solvers:
-                for inst_dep in (False, True):
-                    record = run_one(
-                        instance, scale.k_primary, solver, sbp, inst_dep,
-                        scale.time_limit, scale.detection_node_limit,
-                    )
-                    records.append(record)
-                    if verbose:
-                        print(
-                            f"    {name} {sbp:6s} {solver:8s} i-d={inst_dep} "
-                            f"{record.status:8s} {record.seconds:6.2f}s",
-                            flush=True,
-                        )
+    grid = [
+        (name, sbp, solver, inst_dep)
+        for name in names
+        for sbp in SBP_ROWS
+        for solver in scale.solvers
+        for inst_dep in (False, True)
+    ]
+
+    def report(record) -> None:
+        if verbose:
+            print(
+                f"    {record.instance} {record.sbp_kind:6s} "
+                f"{record.solver:8s} i-d={record.instance_dependent} "
+                f"{record.status:8s} {record.seconds:6.2f}s",
+                flush=True,
+            )
+
+    if jobs:
+        from ..batch import solve_many
+        from .runner import cell_tasks, record_to_run_record
+
+        tasks = [
+            cell_tasks(
+                [get_instance(name)], scale.k_primary, solver, sbp, inst_dep,
+                scale.time_limit, scale.detection_node_limit,
+            )[0]
+            for (name, sbp, solver, inst_dep) in grid
+        ]
+        batch = solve_many(tasks, jobs=jobs)
+        records = []
+        for rec, (name, sbp, solver, inst_dep) in zip(batch, grid):
+            record = record_to_run_record(rec, scale.k_primary, solver, sbp, inst_dep)
+            records.append(record)
+            report(record)
+        return records
+
+    records = []
+    for (name, sbp, solver, inst_dep) in grid:
+        record = run_one(
+            get_instance(name), scale.k_primary, solver, sbp, inst_dep,
+            scale.time_limit, scale.detection_node_limit,
+        )
+        records.append(record)
+        report(record)
     return records
 
 

@@ -1,0 +1,102 @@
+"""Cancellation and time-limit paths across the API surface.
+
+The contract under test (see ``repro.api.results.RunContext``): time
+limits make the *engine* give up with UNKNOWN/best-so-far; the cancel
+predicate is polled between stages and between K queries and makes the
+run return its best-so-far answer with ``cancelled=True`` — neither
+ever raises.  The batch layer's timeout -> fallback-promotion path on
+top of this plumbing is covered in ``tests/test_batch.py``.
+"""
+
+from repro.api import (
+    BudgetedOptimize,
+    ChromaticProblem,
+    Pipeline,
+    Session,
+)
+from repro.graphs.generators import mycielski_graph, queens_graph
+
+
+class FlipAfter:
+    """A cancel predicate that turns true after N polls."""
+
+    def __init__(self, polls: int):
+        self.remaining = polls
+
+    def __call__(self) -> bool:
+        self.remaining -= 1
+        return self.remaining < 0
+
+
+def test_session_decide_time_limit_expiry_returns_unknown():
+    # queens 6x6 at K=6 is a hard UNSAT proof; 0.2s cannot finish it.
+    with Session(queens_graph(6, 6)) as session:
+        result = session.decide(6, time_limit=0.2)
+        assert result.status == "UNKNOWN"
+        assert not result.solved
+        assert session.queries == [(6, "UNKNOWN")]
+        # The session survives an expired query: the same persistent
+        # solver answers the easier budget afterwards.
+        follow_up = session.decide(7)
+        assert follow_up.status == "SAT"
+        assert session.solvers_created == 1
+
+
+def test_session_chromatic_cancel_returns_best_so_far():
+    # Cancelled before the first K query: the heuristic bound comes
+    # back as the best-so-far answer instead of an exception.
+    cancel = FlipAfter(0)
+    with Session(mycielski_graph(4), cancel=cancel) as session:
+        result = session.chromatic()
+    assert result.cancelled
+    assert result.status == "SAT"  # heuristic bound, optimality unproved
+    assert result.num_colors is not None
+    assert result.coloring is not None
+
+
+def test_pipeline_cancel_optimize_flow_returns_cancelled_unknown():
+    result = (Pipeline()
+              .solve(backend="pb-pbs2", time_limit=5)
+              .run(BudgetedOptimize(mycielski_graph(4), 6),
+                   cancel=lambda: True))
+    assert result.cancelled
+    assert result.status == "UNKNOWN"
+    assert not result.solved
+
+
+def test_pipeline_cancel_chromatic_descent_returns_best_so_far():
+    result = (Pipeline()
+              .solve(backend="cdcl-incremental", time_limit=5)
+              .run(ChromaticProblem(mycielski_graph(4)),
+                   cancel=lambda: True))
+    assert result.cancelled
+    assert result.status == "SAT"
+    # Best-so-far: a proper coloring exists even though the descent
+    # never got to prove optimality.
+    assert result.num_colors is not None
+    assert result.coloring is not None
+
+
+def test_pipeline_time_limit_chromatic_gives_unproved_bound():
+    result = (Pipeline()
+              .solve(backend="cdcl-incremental", time_limit=0.2)
+              .run(ChromaticProblem(queens_graph(6, 6))))
+    # The SAT chain descends fast; the K=6 UNSAT proof does not fit in
+    # the budget, so the answer is a feasible-but-unproved bound.
+    assert result.status in ("SAT", "UNKNOWN")
+    assert not result.solved
+    if result.status == "SAT":
+        assert result.num_colors is not None
+
+
+def test_cancel_cannot_revoke_a_bounds_proved_optimum():
+    # queens 4x4: the clique bound meets the DSATUR bound, so the
+    # chromatic number is proved without any solver query — a cancel
+    # request cannot take the already-proved answer away.
+    result = (Pipeline()
+              .solve(backend="cdcl-incremental")
+              .run(ChromaticProblem(queens_graph(4, 4)),
+                   cancel=lambda: True))
+    assert result.status == "OPTIMAL"
+    assert result.num_colors == 5
+    assert result.queries == []
