@@ -17,12 +17,20 @@
 
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
-COV_FLOOR ?= 75
+COV_FLOOR ?= 84
+# Hypothesis profile for the differential fuzz harness: "ci" is seeded/
+# deterministic (PR runs), "nightly" explores fresh seeds (scheduled CI).
+HYPOTHESIS_PROFILE ?= ci
 
-.PHONY: test lint bench-smoke bench bench-json bench-check batch-smoke coverage
+.PHONY: test lint bench-smoke bench bench-json bench-check batch-smoke \
+	coverage fuzz-smoke
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+fuzz-smoke:
+	$(PYTHONPATH_PREFIX) HYPOTHESIS_PROFILE=$(HYPOTHESIS_PROFILE) \
+		$(PYTHON) -m pytest -q tests/test_component_pool.py
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

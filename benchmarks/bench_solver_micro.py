@@ -12,8 +12,10 @@ per-query loop, on multi-K queens/mycielski descents.  Results land in
 from repro.api import ChromaticProblem, Pipeline
 from repro.coloring.encoding import encode_coloring
 from repro.core.formula import Formula
+from repro.experiments.instances import get_instance
 from repro.experiments.runner import run_descent
 from repro.graphs.generators import mycielski_graph, queens_graph
+from repro.graphs.graph import disjoint_union
 from repro.pb.engine import PBSolver
 from repro.sat.cdcl import CDCLSolver, solve_formula
 from repro.symmetry.detect import detect_symmetries
@@ -155,6 +157,57 @@ def test_incremental_vs_scratch_descent(bench_json):
         f"incremental descent lost its edge: {conflict_ratio:.2f}x conflicts, "
         f"{wall_speedup:.2f}x wall-clock"
     )
+
+
+def test_component_pool_vs_whole_kernel_descent(bench_json):
+    """The pool-vs-whole-kernel head-to-head on a disconnected benchmark.
+
+    A union of two registry instances (both triangle-free, so neither
+    dissolves under peeling) descends two ways: the per-component
+    Session pool (one persistent solver per component) and the
+    historical whole-kernel single solver.  Both must agree with the
+    from-scratch answer; the pool must create exactly one solver per
+    component, which the bench gate pins (a silent fallback to the
+    whole-kernel path would report 1).
+    """
+    graph = disjoint_union(
+        get_instance("myciel3").graph(), get_instance("myciel4").graph()
+    )
+    records = {}
+    for split, label in ((True, "pool"), (False, "whole-kernel")):
+        record = run_descent(
+            f"myciel3+myciel4[{label}]", graph, strategy="linear",
+            incremental=True, time_limit=120, split_components=split,
+        )
+        assert record.status == "OPTIMAL", label
+        assert record.chromatic_number == 5, label
+        records[label] = record
+        fields = record.as_json()
+        fields.pop("instance")
+        bench_json.add(f"descent-pool-union-{label}", **fields)
+    pool, whole = records["pool"], records["whole-kernel"]
+    assert pool.components == 2 and pool.solvers_created == 2
+    assert whole.components == 1 and whole.solvers_created <= 1
+    scratch = run_descent(
+        "myciel3+myciel4[scratch]", graph, strategy="linear",
+        incremental=False, time_limit=120,
+    )
+    assert scratch.status == "OPTIMAL"
+    assert scratch.chromatic_number == pool.chromatic_number
+    bench_json.add(
+        "descent-pool-union-aggregate",
+        pool_conflicts=pool.conflicts,
+        whole_conflicts=whole.conflicts,
+        scratch_conflicts=scratch.conflicts,
+        pool_solvers_created=pool.solvers_created,
+        pool_components=pool.components,
+        pool_seconds=round(pool.seconds, 4),
+        whole_seconds=round(whole.seconds, 4),
+        scratch_seconds=round(scratch.seconds, 4),
+    )
+    print(f"\n  component pool: {pool.conflicts} conflicts on "
+          f"{pool.components} solvers vs {whole.conflicts} whole-kernel, "
+          f"{scratch.conflicts} scratch")
 
 
 def test_incremental_descent_stays_incremental(bench_json):

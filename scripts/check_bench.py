@@ -63,6 +63,15 @@ GATES = [
      "solvers_created", "eq", 0.0),
     ("solver_micro", {"instance": "smoke-incremental-guard"},
      "solvers_created", "eq", 0.0),
+    # The component pool: exactly one persistent solver per kernel
+    # component (a fallback to the whole-kernel path would report 1),
+    # and its conflict total stays bounded.
+    ("solver_micro", {"instance": "descent-pool-union-aggregate"},
+     "pool_solvers_created", "eq", 0.0),
+    ("solver_micro", {"instance": "descent-pool-union-aggregate"},
+     "pool_components", "eq", 0.0),
+    ("solver_micro", {"instance": "descent-pool-union-pool"},
+     "conflicts", "max", 0.30),
     # CDCL search quality on the classic refutation fixture.
     ("solver_micro", {"instance": "pigeonhole-7-6"},
      "conflicts", "max", 0.25),

@@ -6,7 +6,8 @@ Usage::
         [--instance-dependent] [--k 20] [--time-limit 60]
         [--no-preprocess] [--no-reduce] [--no-incremental]
     python -m repro chromatic graph.col [--strategy linear|binary]
-        [--no-incremental] [--sbp nu] [--time-limit 60]
+        [--no-incremental] [--no-split-components] [--sbp nu]
+        [--time-limit 60]
     python -m repro stats graph.col
     python -m repro detect graph.col --k 8
     python -m repro backends
@@ -83,6 +84,7 @@ def _pipeline_from_args(args, backend: str) -> Pipeline:
             time_limit=args.time_limit,
             incremental=getattr(args, "incremental", True),
             strategy=getattr(args, "strategy", None),
+            split_components=getattr(args, "split_components", True),
         )
     )
 
@@ -127,11 +129,20 @@ def cmd_chromatic(args) -> int:
     print(f"status:           {result.status}")
     print(f"chromatic number: {result.chromatic_number}"
           + ("" if result.status == "OPTIMAL" else " (upper bound; not proved)"))
-    mode = "incremental (1 persistent solver)" if args.incremental else \
-        f"scratch ({result.solvers_created} fresh solvers)"
+    if result.components:
+        mode = (f"component pool ({len(result.components)} components, "
+                f"{result.solvers_created} persistent solvers)")
+    elif args.incremental:
+        mode = "incremental (1 persistent solver)"
+    else:
+        mode = f"scratch ({result.solvers_created} fresh solvers)"
     print(f"search:           {args.strategy}, {mode}")
     trace = ", ".join(f"K={k}:{status}" for k, status in result.queries) or "(bounds met)"
     print(f"K queries:        {len(result.queries)}  [{trace}]")
+    for trace in result.components:
+        comp_trace = ", ".join(f"K={k}:{s}" for k, s in trace.queries) or "(bounds met)"
+        print(f"  component {trace.index}:    {trace.vertices}v "
+              f"{trace.status} colors={trace.num_colors}  [{comp_trace}]")
     print(f"conflicts:        {result.stats.conflicts}")
     print(f"propagations:     {result.stats.propagations}")
     print(f"time:             {result.total_seconds:.2f}s")
@@ -280,6 +291,13 @@ def main(argv=None) -> int:
         help="drive the whole K descent through one persistent solver "
              "(the cdcl-incremental backend); --no-incremental selects "
              "cdcl-scratch, one fresh solver per K query")
+    p_chrom.add_argument(
+        "--split-components", default=True,
+        action=argparse.BooleanOptionalAction,
+        help="when the kernel is disconnected, run the descent on the "
+             "per-component Session pool (one persistent solver per "
+             "component); --no-split-components keeps one solver over "
+             "the whole kernel")
     p_chrom.set_defaults(func=cmd_chromatic)
 
     p_detect = sub.add_parser("detect", help="symmetry statistics of the encoding")

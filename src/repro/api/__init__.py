@@ -15,6 +15,9 @@ One import gives the four concepts every workload composes from:
   call sites.
 * **Session** — many queries on one graph sharing one persistent
   solver, including raising the color budget in place.
+* **ComponentSessionPool** — kernelization composed with persistence:
+  one persistent Session per kernel component, scheduled largest-first,
+  recombined with per-component provenance.
 
 Quickstart::
 
@@ -57,6 +60,7 @@ from .config import (
     SymmetryConfig,
 )
 from .pipeline import Pipeline, solve_problem
+from .pool import ComponentSessionPool
 from .problems import (
     BudgetedOptimize,
     ChromaticProblem,
@@ -65,6 +69,7 @@ from .problems import (
     Problem,
 )
 from .results import (
+    ComponentTrace,
     ProgressEvent,
     Provenance,
     Result,
@@ -88,6 +93,8 @@ __all__ = [
     "Backend",
     "BudgetedOptimize",
     "ChromaticProblem",
+    "ComponentSessionPool",
+    "ComponentTrace",
     "DEFAULT_STAGE_ORDER",
     "DecisionProblem",
     "EncodeConfig",

@@ -225,9 +225,13 @@ class BranchAndBoundBackend(_OptimizeFlowBackend):
 class CdclBackend(Backend):
     """Clause-only CDCL: decision queries and chromatic descents.
 
-    ``cdcl-incremental`` drives chromatic descents through one
-    persistent solver with per-color activation literals (learned
-    clauses, phases and activity carry over between K queries);
+    ``cdcl-incremental`` drives chromatic descents through persistent
+    solvers with per-color activation literals (learned clauses, phases
+    and activity carry over between K queries).  When kernelization
+    leaves a *disconnected* kernel, the descent runs on the
+    per-component Session pool by default — one persistent solver per
+    component, recombined as the max over components
+    (``SolveConfig.split_components`` turns this off).
     ``cdcl-scratch`` re-encodes and re-solves from scratch at every K
     (the historical behaviour, kept for measurement).  One-shot decision
     queries are identical between the two — reuse across *multiple*
@@ -269,6 +273,7 @@ class CdclBackend(Backend):
             preprocess=config.simplify.enabled,
             reduce=config.reduce.enabled,
             stats=stats,
+            should_stop=ctx.cancelled if ctx.cancel else None,
         )
         seconds = time.monotonic() - t0
         return Result(
@@ -279,10 +284,27 @@ class CdclBackend(Backend):
             stats=stats,
             queries=[(problem.k, status)],
             solvers_created=1,
+            cancelled=status == UNKNOWN and ctx.cancelled(),
         )
 
     def _chromatic(self, problem, config: PipelineConfig, ctx: RunContext) -> Result:
         strategy = config.solve.strategy or "linear"
+        kernelized = None
+        if (
+            self.incremental
+            and config.reduce.enabled
+            and config.solve.split_components
+        ):
+            # The per-component Session pool: one persistent solver per
+            # kernel component.  Applies only when the kernel is
+            # disconnected (and the config fits the growable sessions);
+            # otherwise fall through to the whole-kernel descent, which
+            # reuses the probe's kernelization instead of redoing it.
+            from .pool import pooled_chromatic_result
+
+            pooled, kernelized = pooled_chromatic_result(problem, config, ctx)
+            if pooled is not None:
+                return pooled
         probe = None
         if problem.max_colors is not None:
             # Settle the cap with a single decision probe before paying
@@ -305,6 +327,7 @@ class CdclBackend(Backend):
             reduce=config.reduce.enabled,
             incremental=self.incremental,
             should_stop=ctx.cancelled if ctx.cancel else None,
+            kernelized=kernelized,
         )
         seconds = time.monotonic() - t0
         result = Result(

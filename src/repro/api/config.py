@@ -83,7 +83,15 @@ class SimplifyConfig:
 
 @dataclass(frozen=True)
 class SolveConfig:
-    """Which engine answers the query, and its resource budget."""
+    """Which engine answers the query, and its resource budget.
+
+    ``split_components`` routes chromatic descents on the persistent-
+    solver backend through the per-component Session pool whenever the
+    kernel is disconnected: each component gets its own persistent
+    solver and the results recombine as the max over components.
+    ``pool_threads`` optionally fans the pool's component descents
+    across that many threads (0 = sequential, largest component first).
+    """
 
     backend: str = "pb-pbs2"
     strategy: Optional[str] = None  # None = the backend's default
@@ -91,10 +99,16 @@ class SolveConfig:
     conflict_limit: Optional[int] = None
     incremental: bool = True
     use_bounds: bool = True
+    split_components: bool = True
+    pool_threads: int = 0
 
     def __post_init__(self):
         if self.strategy is not None:
             _check_choice(self.strategy, SEARCH_STRATEGIES, "search strategy")
+        if self.pool_threads < 0:
+            raise ValueError(
+                f"pool_threads must be >= 0, got {self.pool_threads}"
+            )
         # Imported lazily: the backend registry imports this module.
         from .backends import check_backend_name
 
@@ -148,5 +162,7 @@ class PipelineConfig:
             "conflict_limit": self.solve.conflict_limit,
             "incremental": self.solve.incremental,
             "use_bounds": self.solve.use_bounds,
+            "split_components": self.solve.split_components,
+            "pool_threads": self.solve.pool_threads,
             "order": self.order,
         }

@@ -1,0 +1,349 @@
+"""Per-component Session pool: kernelization composed with persistence.
+
+Kernelization (peeling at the clique bound + component split) and the
+persistent-solver K-search have lived side by side since PR 2 without
+composing: the incremental descent ran *one* solver over the whole
+kernel, so learned clauses from one component polluted the search of
+another and a hard component stalled the easy ones.
+:class:`ComponentSessionPool` closes that gap — after the kernel splits,
+every connected component gets its own persistent
+:class:`~repro.api.Session` (one :class:`IncrementalKSearch` each), the
+pool schedules the component descents largest-first (optionally fanning
+them across threads), and the answers recombine exactly:
+
+``chi(G) = max(lb, max over components of chi(component))``
+
+where ``lb`` is the clique bound the kernel was peeled at.  The merged
+:class:`~repro.api.Result` carries one :class:`ComponentTrace` per
+component (size, status, K-query trace, solver count) so callers can
+see exactly which component cost what — and ``solvers_created`` equals
+the number of components that needed a solver, the pool's contract.
+
+The ``cdcl-incremental`` backend routes chromatic problems through the
+pool by default whenever the kernel is disconnected
+(``SolveConfig.split_components``); the pool class itself is public API
+for callers that want to keep the per-component sessions alive for
+follow-up queries.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..coloring.reduce import component_subgraphs, extend_coloring, peel_low_degree
+from ..coloring.solve import PipelineInfo
+from ..coloring.verify import check_proper
+from ..graphs.cliques import clique_lower_bound
+from ..graphs.graph import Graph
+from ..sat.result import OPTIMAL, SAT, UNKNOWN, UNSAT, SolverStats
+from .config import PipelineConfig
+from .results import ComponentTrace, ProgressEvent, Result, RunContext, StageStat
+from .session import Session
+
+
+def _kernelize(graph: Graph):
+    """Peel at the clique bound and split: ``(lb, kernel, component pairs)``."""
+    lb = max(1, clique_lower_bound(graph)) if graph.num_vertices else 0
+    kernel = peel_low_degree(graph, max(1, lb))
+    pairs = component_subgraphs(kernel.graph, largest_first=True)
+    return lb, kernel, pairs
+
+
+def _stats_delta(after, before):
+    """Per-call solver statistics: ``after`` minus the ``before`` snapshot."""
+    delta = SolverStats()
+    delta.decisions = after.decisions - before.decisions
+    delta.conflicts = after.conflicts - before.conflicts
+    delta.propagations = after.propagations - before.propagations
+    delta.restarts = after.restarts - before.restarts
+    delta.learned = after.learned - before.learned
+    delta.deleted = after.deleted - before.deleted
+    delta.time_seconds = after.time_seconds - before.time_seconds
+    return delta
+
+
+class ComponentSessionPool:
+    """One persistent :class:`Session` per kernel component.
+
+    The pool kernelizes ``graph`` once at the clique lower bound
+    (chi-preserving, like the whole-kernel incremental descent), splits
+    the kernel into connected components, and lazily owns one Session —
+    hence one persistent solver — per component.  :meth:`chromatic`
+    runs the per-component K descents (largest component first, or
+    concurrently with ``threads > 1``) and recombines status, coloring,
+    stats, query traces and per-component provenance into one
+    :class:`Result`.
+
+    The pool is reusable: sessions keep their learned clauses between
+    calls, so a second :meth:`chromatic` (or a direct query on a member
+    of :attr:`sessions`) rides the already-warm solvers.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[PipelineConfig] = None,
+        on_progress: Optional[Callable[[ProgressEvent], None]] = None,
+        cancel: Optional[Callable[[], bool]] = None,
+        threads: int = 0,
+        _kernelized: Optional[tuple] = None,
+    ):
+        self.graph = graph
+        self.config = config if config is not None else PipelineConfig()
+        if threads < 0:
+            raise ValueError(f"threads must be >= 0, got {threads}")
+        self.threads = threads
+        self._ctx = RunContext(on_progress=on_progress, cancel=cancel)
+        reduce_start = time.monotonic()
+        if _kernelized is not None:
+            # The backend probe already kernelized; don't redo the work.
+            self.clique_bound, self.kernel, pairs = _kernelized
+        else:
+            self.clique_bound, self.kernel, pairs = _kernelize(graph)
+        self._reduce_seconds = time.monotonic() - reduce_start
+        #: Component vertex lists in kernel numbering, largest first.
+        self.components: List[List[int]] = [vertices for vertices, _ in pairs]
+        self._subgraphs: List[Graph] = [sub for _, sub in pairs]
+        self.sessions: List[Session] = [
+            Session(
+                sub,
+                config=self.config,
+                on_progress=self._forward_progress(index),
+                cancel=cancel,
+            )
+            for index, sub in enumerate(self._subgraphs)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ComponentSessionPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release every component's persistent solver."""
+        for session in self.sessions:
+            session.close()
+
+    @property
+    def solvers_created(self) -> int:
+        """Persistent solvers instantiated so far (at most one per component)."""
+        return sum(session.solvers_created for session in self.sessions)
+
+    def _forward_progress(self, index: int):
+        if self._ctx.on_progress is None:
+            return None
+
+        def forward(event: ProgressEvent) -> None:
+            self._ctx.emit(
+                event.stage,
+                f"[component {index}] {event.message}",
+                k=event.k,
+                status=event.status,
+            )
+
+        return forward
+
+    # ------------------------------------------------------------------
+    # Chromatic number
+    # ------------------------------------------------------------------
+
+    def chromatic(
+        self,
+        strategy: str = "linear",
+        time_limit: Optional[float] = None,
+        max_colors: Optional[int] = None,
+    ) -> Result:
+        """Chromatic number via per-component persistent-solver descents.
+
+        Every component descends independently on its own Session; the
+        results recombine as the max over components (against the clique
+        bound the kernel was peeled at), the component colorings are
+        unioned — disjoint components may share color classes — and the
+        peeled vertices are greedily re-inserted.  ``max_colors`` caps
+        the answer exactly: a cap below the clique bound, or below any
+        single component's chromatic number, is UNSAT.
+        """
+        t0 = time.monotonic()
+        if time_limit is None:
+            time_limit = self.config.solve.time_limit
+        info = PipelineInfo(
+            preprocess=self.config.simplify.enabled,
+            reduce=True,
+            original_vertices=self.graph.num_vertices,
+            kernel_vertices=self.kernel.graph.num_vertices,
+            peeled_vertices=self.graph.num_vertices
+            - self.kernel.graph.num_vertices,
+        )
+        if self.graph.num_vertices == 0:
+            return Result(status=OPTIMAL, num_colors=0, coloring={},
+                          pipeline=info)
+        if max_colors is not None and max_colors <= 0:
+            return Result(status=UNSAT, pipeline=info)
+        reduce_stage = StageStat(
+            "reduce", self._reduce_seconds,
+            {
+                "clique_bound": self.clique_bound,
+                "kernel_vertices": info.kernel_vertices,
+                "peeled_vertices": info.peeled_vertices,
+                "components": len(self.components),
+            },
+        )
+        if max_colors is not None and self.clique_bound > max_colors:
+            # The kernel contains a clique larger than the cap.
+            return Result(status=UNSAT, stages=[reduce_stage], pipeline=info)
+        if not self.components:
+            # Peeling dissolved the whole graph: replaying it greedily
+            # colors within the clique bound, which is optimal.
+            coloring = extend_coloring(self.kernel, {})
+            check_proper(self.graph, coloring)
+            return Result(
+                status=OPTIMAL,
+                num_colors=len(set(coloring.values())),
+                coloring=coloring,
+                stages=[reduce_stage],
+                pipeline=info,
+            )
+
+        def remaining() -> Optional[float]:
+            if time_limit is None:
+                return None
+            return max(0.0, time_limit - (time.monotonic() - t0))
+
+        def solve_component(index: int) -> Result:
+            self._ctx.emit(
+                "pool",
+                f"[component {index}] descent on "
+                f"{self._subgraphs[index].num_vertices} vertices",
+            )
+            return self.sessions[index].chromatic(
+                strategy=strategy,
+                time_limit=remaining(),
+                max_colors=max_colors,
+                # Colors below the global clique bound cannot change the
+                # recombined max — no component descends past it.
+                lower_bound=self.clique_bound,
+            )
+
+        # Sessions report *cumulative* stats; snapshot them so a reused
+        # pool attributes only this call's work to this call's Result.
+        baselines = [copy.copy(session.stats) for session in self.sessions]
+        indices = range(len(self.components))
+        if self.threads > 1 and len(self.components) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=min(self.threads, len(self.components))
+            ) as executor:
+                results = list(executor.map(solve_component, indices))
+        else:
+            results = []
+            for index in indices:
+                result = solve_component(index)
+                results.append(result)
+                if result.status == UNSAT:
+                    # Definitive: one component over the cap settles the
+                    # whole answer — don't pay for the rest (their
+                    # traces are simply absent from the merged result).
+                    break
+        return self._merge(results, baselines, info, reduce_stage, t0)
+
+    def _merge(
+        self,
+        results: List[Result],
+        baselines: List,
+        info: PipelineInfo,
+        reduce_stage: StageStat,
+        t0: float,
+    ) -> Result:
+        merged = Result(status=OPTIMAL, stages=[reduce_stage], pipeline=info)
+        kernel_coloring: Dict[int, int] = {}
+        for index, result in enumerate(results):
+            call_stats = _stats_delta(result.stats, baselines[index])
+            trace = ComponentTrace(
+                index=index,
+                vertices=self._subgraphs[index].num_vertices,
+                edges=self._subgraphs[index].num_edges,
+                status=result.status,
+                num_colors=result.num_colors,
+                queries=list(result.queries),
+                solvers_created=result.solvers_created,
+                seconds=result.total_seconds,
+                cancelled=result.cancelled,
+            )
+            merged.components.append(trace)
+            merged.stats.merge(call_stats)
+            merged.queries.extend(result.queries)
+            merged.solvers_created += result.solvers_created
+            merged.cancelled = merged.cancelled or result.cancelled
+            if result.status in (UNSAT, UNKNOWN):
+                # A component over the cap (UNSAT) is definitive; an
+                # inconclusive component leaves the whole answer open.
+                if merged.status != UNSAT:
+                    merged.status = result.status
+                continue
+            if result.status == SAT and merged.status == OPTIMAL:
+                merged.status = SAT  # feasible but optimality not proved
+            info.components_solved += 1
+            for local, color in sorted(result.coloring.items()):
+                kernel_coloring[self.components[index][local]] = color
+        merged.stages.append(StageStat("solve", time.monotonic() - t0))
+        if merged.status in (UNSAT, UNKNOWN):
+            return merged
+        coloring = extend_coloring(self.kernel, kernel_coloring)
+        check_proper(self.graph, coloring)
+        merged.coloring = coloring
+        merged.num_colors = len(set(coloring.values()))
+        return merged
+
+
+def pooled_chromatic_result(problem, config, ctx):
+    """The ``cdcl-incremental`` backend's pool route.
+
+    Returns ``(result, kernelized)``.  ``result`` is ``None`` when
+    pooling does not apply — the kernel is connected (the whole-kernel
+    persistent descent is already optimal there), or the configuration
+    uses a construction the growable per-component sessions cannot host
+    (non-pairwise AMO, NU chains) — and the caller falls back to the
+    whole-kernel incremental descent.  ``kernelized`` is the probe's
+    ``(clique bound, kernel, component pairs)`` when it was computed,
+    so the fallback can reuse it instead of kernelizing again.
+    """
+    from ..coloring.sat_pipeline import GROWABLE_SBP_KINDS
+
+    if config.symmetry.sbp_kind not in GROWABLE_SBP_KINDS:
+        return None, None
+    if config.encode.amo != "pairwise":
+        return None, None
+    # Cheap disconnectedness probe first: the common connected case must
+    # not pay for Session construction (and the kernelization is handed
+    # to the pool, not redone).
+    kernelized = _kernelize(problem.graph)
+    if len(kernelized[2]) <= 1:
+        return None, kernelized
+    pool = ComponentSessionPool(
+        problem.graph,
+        config=config,
+        on_progress=ctx.on_progress,
+        cancel=ctx.cancel,
+        threads=config.solve.pool_threads,
+        _kernelized=kernelized,
+    )
+    strategy = config.solve.strategy or "linear"
+    ctx.emit(
+        "pool",
+        f"kernel split into {len(pool.components)} components; "
+        "per-component persistent solvers",
+    )
+    result = pool.chromatic(
+        strategy=strategy,
+        time_limit=config.solve.time_limit,
+        max_colors=problem.max_colors,
+    )
+    return result, kernelized

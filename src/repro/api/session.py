@@ -15,8 +15,10 @@ are plain assumption queries, so a lowered budget can always be raised
 back.
 
 Progress callbacks fire per query; the cancellation predicate is
-polled between queries and makes the session return its best-so-far
-answer with ``cancelled=True``.
+polled between queries *and inside each query* (every few dozen
+conflicts in the solver's search loop), and makes the session return
+its best-so-far answer with ``cancelled=True`` — a single monster
+UNSAT query no longer needs the batch layer's hard kill.
 """
 
 from __future__ import annotations
@@ -123,6 +125,15 @@ class Session:
             raise ValueError(f"budget must be positive, got {new_max}")
         self._ensure_search(new_max)
 
+    def _should_stop(self):
+        """The in-query stop predicate the solver polls mid-search.
+
+        Only armed when a cancel callback exists — the predicate is
+        polled every few dozen conflicts, so even one monster UNSAT
+        query inside :meth:`chromatic` stays interruptible.
+        """
+        return self._ctx.cancelled if self._ctx.cancel is not None else None
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -165,25 +176,37 @@ class Session:
         self._ctx.emit("query", f"deciding {k}-colorability", k=k)
         if time_limit is None:
             time_limit = self.config.solve.time_limit
-        status, coloring, _ = search.solve_k(k, time_limit=time_limit)
+        status, coloring, _ = search.solve_k(
+            k, time_limit=time_limit, should_stop=self._should_stop()
+        )
         self.queries.append((k, status))
         self._ctx.emit("query", f"K={k}: {status}", k=k, status=status)
         if coloring is not None:
             self._best_coloring = coloring
         return self._result(status, coloring, time.monotonic() - t0,
-                            query_k=k, query_status=status)
+                            query_k=k, query_status=status,
+                            cancelled=status == UNKNOWN and self._ctx.cancelled())
 
     def chromatic(
         self,
         strategy: str = "linear",
         time_limit: Optional[float] = None,
         max_colors: Optional[int] = None,
+        lower_bound: Optional[int] = None,
     ) -> Result:
         """Chromatic number by a K descent on the session's solver.
 
         Unlike the one-shot descent, nothing is disabled permanently —
         every query is assumption-based, so the session stays fully
         reusable (including budget raises) afterwards.
+
+        ``lower_bound`` clamps the descent floor: colors below it are
+        never probed, so the proved answer is ``max(lower_bound,
+        chi(graph))`` rather than the chromatic number itself.  The
+        component pool passes the *global* clique bound here — a
+        component whose chromatic number falls below it cannot affect
+        the recombined maximum, so distinguishing values under the bound
+        is wasted UNSAT proving.
         """
         if strategy not in ("linear", "binary"):
             raise ValueError(f"unknown strategy {strategy!r}; expected linear/binary")
@@ -196,8 +219,12 @@ class Session:
         if max_colors is not None and max_colors <= 0:
             return self._result(UNSAT, None, time.monotonic() - t0)
         heuristic, ub = dsatur(self.graph)
-        lb = max(1, clique_lower_bound(self.graph))
+        lb = max(1, clique_lower_bound(self.graph), lower_bound or 0)
         best = {v: c + 1 for v, c in heuristic.items()}
+        if ub <= lb and (max_colors is None or max_colors >= ub):
+            # The clique bound meets the heuristic bound: the chromatic
+            # number is proved without instantiating a solver.
+            return self._result(OPTIMAL, best, time.monotonic() - t0)
         if max_colors is not None and max_colors < ub:
             # The cap undercuts the heuristic bound: establish
             # feasibility at the cap first.
@@ -233,12 +260,14 @@ class Session:
                 if self._ctx.cancelled():
                     return finish(SAT, best, cancelled=True)
                 self._ctx.emit("query", f"deciding {k}-colorability", k=k)
-                status, coloring, _ = search.solve_k(k, time_limit=budget)
+                status, coloring, _ = search.solve_k(
+                    k, time_limit=budget, should_stop=self._should_stop()
+                )
                 queries.append((k, status))
                 self.queries.append((k, status))
                 self._ctx.emit("query", f"K={k}: {status}", k=k, status=status)
                 if status == UNKNOWN:
-                    return finish(SAT, best)
+                    return finish(SAT, best, cancelled=self._ctx.cancelled())
                 if status == UNSAT:
                     return finish(OPTIMAL, best)
                 best = coloring
@@ -254,12 +283,14 @@ class Session:
             if self._ctx.cancelled():
                 return finish(SAT, best, cancelled=True)
             self._ctx.emit("query", f"deciding {mid}-colorability", k=mid)
-            status, coloring, failed_colors = search.solve_k(mid, time_limit=budget)
+            status, coloring, failed_colors = search.solve_k(
+                mid, time_limit=budget, should_stop=self._should_stop()
+            )
             queries.append((mid, status))
             self.queries.append((mid, status))
             self._ctx.emit("query", f"K={mid}: {status}", k=mid, status=status)
             if status == UNKNOWN:
-                return finish(SAT, best)
+                return finish(SAT, best, cancelled=self._ctx.cancelled())
             if status == UNSAT:
                 lo = max(mid + 1, min(failed_colors) if failed_colors else 0)
             else:

@@ -11,7 +11,8 @@ JSON.  Each task combines:
 * a **problem kind** (``chromatic`` / ``decision`` / ``budgeted``) with
   its budget;
 * the **pipeline knobs** (backend, fallback chain, SBP kind, strategy,
-  AMO encoding, reduce/simplify toggles, per-engine time limit).
+  AMO encoding, reduce/simplify toggles, per-component Session pooling
+  (``split_components``/``pool_threads``), per-engine time limit).
 
 File formats: a ``.json`` manifest is either a JSON list of task dicts
 or ``{"defaults": {...}, "plugins": [...], "tasks": [...]}``; a
@@ -243,6 +244,8 @@ class TaskSpec:
     instance_dependent: bool = False
     detection_node_limit: Optional[int] = None  # None = SymmetryConfig default
     incremental: bool = True
+    split_components: bool = True
+    pool_threads: int = 0
     time_limit: Optional[float] = None
 
     def __post_init__(self):
@@ -316,6 +319,8 @@ class TaskSpec:
                 strategy=self.strategy,
                 time_limit=time_limit,
                 incremental=self.incremental,
+                split_components=self.split_components,
+                pool_threads=self.pool_threads,
             )
         )
 

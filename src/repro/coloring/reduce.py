@@ -85,6 +85,27 @@ def extend_coloring(kernel: Kernel, kernel_coloring: Dict[int, int]) -> Dict[int
     return coloring
 
 
+def component_subgraphs(
+    graph: Graph, largest_first: bool = False
+) -> List[Tuple[List[int], Graph]]:
+    """Connected components paired with their induced subgraphs.
+
+    Each entry is ``(vertices, subgraph)`` where ``vertices`` is the
+    sorted component vertex list in ``graph``'s numbering and
+    ``subgraph`` relabels it to ``0..len-1`` (so ``vertices[local]`` maps
+    a subgraph vertex back).  ``largest_first=True`` returns the
+    components in descending size — the schedule order of the Session
+    pool, which starts the longest descent first.
+    """
+    pairs = [
+        (component, graph.subgraph(component))
+        for component in connected_components(graph)
+    ]
+    if largest_first:
+        pairs.sort(key=lambda pair: (-len(pair[0]), pair[0]))
+    return pairs
+
+
 @dataclass
 class ReducedSolve:
     """Outcome of :func:`solve_with_reduction`."""

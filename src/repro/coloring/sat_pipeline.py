@@ -203,10 +203,16 @@ class IncrementalKSearch:
 
     ``simplify=True`` runs the *model-preserving* clause simplification
     on the encoding before loading it (tautology/duplicate removal,
-    units kept as unit clauses, subsumption, strengthening).  The full
-    equisatisfiable preprocessor is deliberately not used here: pure
-    literal elimination or bounded variable elimination could remove the
-    activation variables the per-call assumptions refer to.
+    units kept as unit clauses, subsumption, strengthening).
+    ``eliminate=True`` upgrades that to the assumption-aware full
+    preprocessor: the activation variables (and, on growable searches,
+    the coloring variables that future ``grow_to`` clauses mention) are
+    *frozen*, and pure-literal elimination plus bounded variable
+    elimination run on the rest, with SAT models reconstructed through
+    the elimination stack before decoding.  Running the unrestricted
+    preprocessor would be unsound here — pure-literal elimination
+    fixes the (pure) activation selectors the per-call assumptions
+    negate.
 
     ``growable=True`` uses the generation-based encoding of
     :func:`encode_k_coloring_growable`, which additionally supports
@@ -224,6 +230,7 @@ class IncrementalKSearch:
         sbp_kind: str = "none",
         simplify: bool = True,
         growable: bool = False,
+        eliminate: bool = False,
     ):
         self.graph = graph
         self.max_k = max_k
@@ -246,7 +253,25 @@ class IncrementalKSearch:
         self.x = x
         self.activators = activators
         self.root_unsat = False
-        if simplify:
+        self._pre = None  # PreprocessResult when eliminate ran
+        if simplify and eliminate:
+            # Assumption-aware preprocessing: freeze the selectors the
+            # queries assume — and on growable searches the coloring
+            # variables too, since grow_to() adds clauses over them
+            # (resolving a variable out is only sound while no future
+            # clause mentions it).
+            frozen = set(activators.values())
+            if self._ext is not None:
+                frozen.add(self._ext)
+            if growable:
+                frozen.update(x.values())
+            pre = preprocess_cnf(formula, frozen=frozen)
+            if pre.is_unsat:
+                self.root_unsat = True
+            else:
+                formula = pre.formula
+                self._pre = pre
+        elif simplify:
             simplified, _ = simplify_formula(formula)
             if simplified is None:
                 self.root_unsat = True
@@ -259,6 +284,9 @@ class IncrementalKSearch:
         # encoding (pre- or post-simplification) ever allocated.
         self._top_var = max(formula.num_vars, self.solver.num_vars)
         self.stats = SolverStats()
+        # Cumulative clause-group garbage collection counters (clauses /
+        # learnt clauses / watcher pairs reclaimed by shrink + growth).
+        self.gc_stats: Dict[str, int] = {"clauses": 0, "learned": 0, "watchers": 0}
         self._last_coloring: Optional[Dict[int, int]] = None
         # Colors above this bound have been switched off *permanently*
         # (level-0 unit clauses) by monotone-descent queries.
@@ -328,6 +356,25 @@ class IncrementalKSearch:
         self._active_ub = new_max_k
         if not ok:
             self.root_unsat = True
+            return
+        # The retired at-least-one generation is satisfied by the level-0
+        # ``ext`` unit — reclaim its clauses and watchers instead of
+        # leaving them as permanent dead weight in the watch lists.
+        self._collect_garbage()
+
+    def _collect_garbage(self) -> None:
+        """Clause-group deletion: sweep clauses killed by level-0 facts.
+
+        Permanent color disabling and at-least-one generation retirement
+        both work by adding level-0 units; every clause of the dead
+        group (activation guards, at-most-one pairs, edge conflicts,
+        retired at-least-one clauses — and any learnt clause satisfied
+        by the facts) becomes root-satisfied.  Delegate to the solver's
+        sweep and accumulate what it reclaimed.
+        """
+        removed = self.solver.collect_level0_satisfied()
+        for key, count in removed.items():
+            self.gc_stats[key] += count
 
     def _prepare_heuristics(self, k: int, carry: bool) -> None:
         """Re-seed the decision heuristics for the next K query.
@@ -369,6 +416,7 @@ class IncrementalKSearch:
         time_limit: Optional[float] = None,
         permanent: bool = False,
         carry_heuristics: bool = False,
+        should_stop=None,
     ) -> Tuple[str, Optional[Dict[int, int]], List[int]]:
         """Decide K-colorability on the persistent solver.
 
@@ -384,9 +432,14 @@ class IncrementalKSearch:
         *monotone* descents (the linear strategy: K never goes back up),
         but it is measurably cheaper: literals forced at level 0 are
         dropped from every learnt clause, whereas assumption-level
-        literals ride along in each one.  Binary probes must keep
-        ``permanent=False`` so refutations stay retractable and return
-        assumption cores.
+        literals ride along in each one — and the clauses of the
+        now-dead color groups are garbage-collected outright.  Binary
+        probes must keep ``permanent=False`` so refutations stay
+        retractable and return assumption cores.
+
+        ``should_stop`` is polled inside the solver every few dozen
+        conflicts; when it turns true the query returns UNKNOWN (the
+        solver survives, learned clauses intact).
         """
         if k > self.max_k:
             raise ValueError(
@@ -412,20 +465,32 @@ class IncrementalKSearch:
             return UNSAT, None, []
         self._prepare_heuristics(k, carry_heuristics)
         if permanent:
+            disabled = self._active_ub > k
             for c in range(k + 1, self._active_ub + 1):
                 if not self.solver.add_clause([-self.activators[c]]):
                     self.root_unsat = True
             self._active_ub = k
             if self.root_unsat:
                 return UNSAT, None, []
+            if disabled:
+                # Shrink: the disabled colors' clause groups are now
+                # satisfied at level 0 — reclaim them.
+                self._collect_garbage()
             assumptions: List[int] = []
         else:
             assumptions = self.assumptions_for(k)
-        result = self.solver.solve(assumptions=assumptions, time_limit=time_limit)
+        result = self.solver.solve(
+            assumptions=assumptions, time_limit=time_limit,
+            should_stop=should_stop,
+        )
         self.stats.merge(result.stats)
         if result.is_sat:
             coloring: Dict[int, int] = {}
             model = result.model
+            if self._pre is not None:
+                # Variables eliminated by the assumption-aware
+                # preprocessing are reconstructed before decoding.
+                model = self._pre.extend_model(model)
             for v in range(self.graph.num_vertices):
                 for c in range(1, k + 1):
                     if model[self.x[(v, c)]]:
@@ -452,6 +517,7 @@ def sat_k_colorable(
     preprocess: bool = True,
     reduce: bool = False,
     stats: Optional[SolverStats] = None,
+    should_stop=None,
 ) -> Tuple[str, Optional[Dict[int, int]]]:
     """Decide K-colorability with the CNF CDCL solver.
 
@@ -462,6 +528,8 @@ def sat_k_colorable(
     vertices of degree < K and splits components before encoding, which
     is exact for the decision problem.  ``stats``, when given, has the
     solver statistics of every internal solve merged into it.
+    ``should_stop`` is polled *inside* the solver (every few dozen
+    conflicts): when it turns true the query gives up with UNKNOWN.
     """
     if k <= 0:
         return (UNSAT if graph.num_vertices else SAT), ({} if not graph.num_vertices else None)
@@ -477,7 +545,7 @@ def sat_k_colorable(
             return sat_k_colorable(
                 sub, kk, time_limit=remaining, amo_encoding=amo_encoding,
                 sbp_kind=sbp_kind, preprocess=preprocess, reduce=False,
-                stats=stats,
+                stats=stats, should_stop=should_stop,
             )
 
         reduced = solve_with_reduction(graph, k, decide)
@@ -491,7 +559,7 @@ def sat_k_colorable(
             solver = CDCLSolver(num_vars=pre.formula.num_vars)
             if not solver.add_formula(pre.formula):
                 return UNSAT, None
-            result = solver.solve(time_limit=time_limit)
+            result = solver.solve(time_limit=time_limit, should_stop=should_stop)
             if stats is not None:
                 stats.merge(result.stats)
             if not result.is_sat:
@@ -503,7 +571,7 @@ def sat_k_colorable(
         solver = CDCLSolver(num_vars=formula.num_vars)
         if not solver.add_formula(formula):
             return UNSAT, None
-        result = solver.solve(time_limit=time_limit)
+        result = solver.solve(time_limit=time_limit, should_stop=should_stop)
         if stats is not None:
             stats.merge(result.stats)
         if not result.is_sat:
@@ -548,6 +616,7 @@ def chromatic_number_sat(
     reduce: bool = True,
     incremental: bool = True,
     should_stop=None,
+    kernelized=None,
 ) -> SatPipelineResult:
     """Chromatic number via repeated CNF-SAT decision calls.
 
@@ -568,8 +637,16 @@ def chromatic_number_sat(
     measurement).
 
     ``should_stop`` (a zero-argument predicate) is polled before each K
-    query; when it turns true the search stops and the best-so-far
-    answer is returned (status SAT — the bound is not proved).
+    query *and inside each query* (every few dozen conflicts); when it
+    turns true the search stops and the best-so-far answer is returned
+    (status SAT — the bound is not proved), so even a single monster
+    UNSAT query is interruptible.
+
+    ``kernelized`` optionally hands in a precomputed ``(clique bound,
+    kernel, component pairs)`` triple (the component pool's
+    disconnectedness probe) so the incremental path does not kernelize
+    the same graph twice; only consulted when ``incremental`` and
+    ``reduce`` are set.
     """
     if strategy not in ("linear", "binary"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -582,6 +659,7 @@ def chromatic_number_sat(
             graph, strategy, start, time_limit=time_limit,
             amo_encoding=amo_encoding, sbp_kind=sbp_kind,
             preprocess=preprocess, reduce=reduce, should_stop=should_stop,
+            kernelized=kernelized,
         )
     heuristic_coloring, ub = dsatur(graph)
     best = {v: c + 1 for v, c in heuristic_coloring.items()}
@@ -615,6 +693,7 @@ def chromatic_number_sat(
                 graph, k, time_limit=budget,
                 amo_encoding=amo_encoding, sbp_kind=sbp_kind,
                 preprocess=preprocess, reduce=reduce, stats=run_stats,
+                should_stop=should_stop,
             )
             k_queries.append((k, status))
             if status == UNKNOWN:
@@ -638,6 +717,7 @@ def chromatic_number_sat(
             graph, mid, time_limit=budget,
             amo_encoding=amo_encoding, sbp_kind=sbp_kind,
             preprocess=preprocess, reduce=reduce, stats=run_stats,
+            should_stop=should_stop,
         )
         k_queries.append((mid, status))
         if status == UNKNOWN:
@@ -660,6 +740,7 @@ def _chromatic_number_incremental(
     preprocess: bool,
     reduce: bool,
     should_stop=None,
+    kernelized=None,
 ) -> SatPipelineResult:
     """The persistent-solver descent behind ``chromatic_number_sat``.
 
@@ -671,12 +752,18 @@ def _chromatic_number_incremental(
     clauses span components; see the ROADMAP's "Incremental search"
     notes for the per-component variant.
     """
-    lb = max(1, clique_lower_bound(graph))
-    kernel = None
-    work = graph
-    if reduce:
-        kernel = peel_low_degree(graph, lb)
+    if reduce and kernelized is not None:
+        # The component pool's probe already peeled at the clique bound.
+        lb, kernel, _ = kernelized
+        lb = max(1, lb)
         work = kernel.graph
+    else:
+        lb = max(1, clique_lower_bound(graph))
+        kernel = None
+        work = graph
+        if reduce:
+            kernel = peel_low_degree(graph, lb)
+            work = kernel.graph
 
     def lift(kernel_coloring: Dict[int, int]) -> Dict[int, int]:
         if kernel is None:
@@ -709,7 +796,7 @@ def _chromatic_number_incremental(
 
     search = IncrementalKSearch(
         work, ub, amo_encoding=amo_encoding, sbp_kind=sbp_kind,
-        simplify=preprocess,
+        simplify=preprocess, eliminate=preprocess,
     )
 
     def remaining() -> Optional[float]:
@@ -738,7 +825,7 @@ def _chromatic_number_incremental(
             # off permanently (level-0 units): same persistent solver,
             # but learnt clauses stay free of assumption literals.
             status, coloring, _ = search.solve_k(
-                k, time_limit=budget, permanent=True
+                k, time_limit=budget, permanent=True, should_stop=should_stop
             )
             k_queries.append((k, status))
             if status == UNKNOWN:
@@ -758,7 +845,9 @@ def _chromatic_number_incremental(
         if should_stop is not None and should_stop():
             return finish(SAT, hi, best_kernel)
         calls += 1
-        status, coloring, failed_colors = search.solve_k(mid, time_limit=budget)
+        status, coloring, failed_colors = search.solve_k(
+            mid, time_limit=budget, should_stop=should_stop
+        )
         k_queries.append((mid, status))
         if status == UNKNOWN:
             return finish(SAT, hi, best_kernel)

@@ -22,7 +22,7 @@ from .generators import (
     mycielski_step,
     queens_graph,
 )
-from .graph import Graph
+from .graph import Graph, disjoint_union
 
 __all__ = [
     "Graph",
@@ -33,6 +33,7 @@ __all__ = [
     "count_triangles",
     "degeneracy_bound",
     "degeneracy_ordering",
+    "disjoint_union",
     "is_bipartite",
     "dsatur",
     "games_graph",

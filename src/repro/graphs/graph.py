@@ -162,3 +162,21 @@ class Graph:
             and self.num_vertices == other.num_vertices
             and self._adj == other._adj
         )
+
+
+def disjoint_union(*graphs: Graph, name: str = "") -> Graph:
+    """The disjoint union of the given graphs, vertices renumbered in order.
+
+    The canonical disconnected instance: ``chi(G1 + G2) =
+    max(chi(G1), chi(G2))``, which is exactly what the per-component
+    Session pool exploits (and what the differential tests stress).
+    """
+    union = Graph(sum(g.num_vertices for g in graphs), name=name)
+    offset = 0
+    for g in graphs:
+        for u, v in g.edges():
+            union.add_edge(u + offset, v + offset)
+        offset += g.num_vertices
+    if not name:
+        union.name = "+".join(g.name for g in graphs if g.name)
+    return union

@@ -36,7 +36,7 @@ Hot-path design (measured on the multi-K coloring descents):
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.formula import Formula
 from .luby import luby_sequence
@@ -491,12 +491,64 @@ class CDCLSolver:
                 watchlist[:] = [w for w in watchlist if not w[0].deleted]
         self._dead_watchers = 0
 
+    def watcher_count(self) -> int:
+        """Total watcher pairs in the watch table (incl. not-yet-drained)."""
+        return sum(len(w) for w in self.watches)
+
+    def collect_level0_satisfied(self) -> Dict[str, int]:
+        """Garbage-collect every clause satisfied by the level-0 assignment.
+
+        Incremental callers retire whole clause groups by adding level-0
+        units (a chromatic descent disabling a color permanently, a
+        growable encoding retiring an at-least-one generation): the
+        group's clauses are all satisfied by the propagated facts, but
+        they still occupy the clause lists and their watchers are still
+        visited.  This sweep deletes them — problem clauses and learnt
+        clauses alike — and compacts the watch lists in one pass.
+
+        Level-0 facts never participate in conflict analysis again, so
+        the reason pointers of root assignments are dropped too (a
+        deleted reason clause must not stay pinned).  Must be called at
+        decision level 0 (between ``solve`` calls).  Returns the removal
+        counts: ``{"clauses", "learned", "watchers"}``.
+        """
+        if self.trail_lim:
+            raise RuntimeError(
+                "collect_level0_satisfied is only legal at decision level 0"
+            )
+        values = self.values
+
+        def satisfied(clause: WClause) -> bool:
+            for lit in clause:
+                if (values[lit] if lit > 0 else -values[-lit]) > 0:
+                    return True
+            return False
+
+        removed = {"clauses": 0, "learned": 0, "watchers": 0}
+        for name, pool in (("clauses", self.clauses), ("learned", self.learned)):
+            keep: List[WClause] = []
+            for clause in pool:
+                if satisfied(clause):
+                    clause.deleted = True
+                    removed[name] += 1
+                else:
+                    keep.append(clause)
+            pool[:] = keep
+        for lit in self.trail:
+            self.reason[abs(lit)] = None
+        before = self.watcher_count()
+        self._compact_watches()
+        removed["watchers"] = before - self.watcher_count()
+        self.stats.deleted += removed["clauses"] + removed["learned"]
+        return removed
+
     # --------------------------------------------------------------- solve
     def solve(
         self,
         assumptions: Sequence[int] = (),
         time_limit: Optional[float] = None,
         conflict_limit: Optional[int] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> SolveResult:
         """Decide satisfiability under optional assumption literals.
 
@@ -508,6 +560,11 @@ class CDCLSolver:
 
         ``time_limit`` (seconds) and ``conflict_limit`` bound the search;
         on exhaustion the result status is :data:`UNKNOWN`.
+        ``should_stop`` is a zero-argument predicate polled every few
+        dozen conflicts (and every ~1k decisions): when it turns true
+        the call abandons the query and returns :data:`UNKNOWN`, which
+        is what makes one monster UNSAT query interruptible without
+        killing the solver — learned clauses survive for the next call.
         """
         start = time.monotonic()
         run = SolverStats()
@@ -538,6 +595,9 @@ class CDCLSolver:
                 self._on_conflict()
                 if conflict_limit is not None and conflicts_here >= conflict_limit:
                     return self._finish(UNKNOWN, start, base, run)
+                if should_stop is not None and (conflicts_here & 63) == 0:
+                    if should_stop():
+                        return self._finish(UNKNOWN, start, base, run)
                 if time_limit is not None and (self.stats.conflicts & 127) == 0:
                     if time.monotonic() - start > time_limit:
                         return self._finish(UNKNOWN, start, base, run)
@@ -570,9 +630,16 @@ class CDCLSolver:
                 result.model = model
                 return result
             self.stats.decisions += 1
-            if time_limit is not None and (self.stats.decisions & 1023) == 0:
-                if time.monotonic() - start > time_limit:
-                    return self._finish(UNKNOWN, start, base, run)
+            if (self.stats.decisions & 1023) == 0 and (
+                (time_limit is not None
+                 and time.monotonic() - start > time_limit)
+                or (should_stop is not None and should_stop())
+            ):
+                # The popped decision variable was never enqueued, so
+                # _finish's backtrack will not re-push it — do it here
+                # or it would be lost to every later solve() call.
+                self.vsids.push(var)
+                return self._finish(UNKNOWN, start, base, run)
             self.trail_lim.append(len(self.trail))
             lit = var if self.saved_phase[var] else -var
             self._enqueue(lit, None)

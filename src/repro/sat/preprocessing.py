@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.clause import Clause
 from ..core.formula import Formula
@@ -160,9 +160,19 @@ def _propagate_units(
 
 
 def _eliminate_pure(
-    clauses: List[Tuple[int, ...]], forced: Dict[int, bool]
+    clauses: List[Tuple[int, ...]],
+    forced: Dict[int, bool],
+    frozen: frozenset = frozenset(),
 ) -> Tuple[List[Tuple[int, ...]], int]:
-    """Fix pure literals (appearing in one phase only) to satisfy them."""
+    """Fix pure literals (appearing in one phase only) to satisfy them.
+
+    ``frozen`` variables are exempt: a later ``solve`` call may assume
+    them in either phase, so fixing one to its pure phase (and deleting
+    the clauses it satisfies) would silently change those queries'
+    answers.  Activation selectors are the canonical example — they are
+    pure (guards only mention them positively) yet every assumption
+    negates them.
+    """
     polarity: Dict[int, Set[bool]] = {}
     for clause in clauses:
         for lit in clause:
@@ -170,7 +180,7 @@ def _eliminate_pure(
     pure = {
         var: phases.pop()
         for var, phases in polarity.items()
-        if len(phases) == 1 and var not in forced
+        if len(phases) == 1 and var not in forced and var not in frozen
     }
     if not pure:
         return clauses, 0
@@ -267,6 +277,7 @@ def _eliminate_variables(
     clauses: List[Tuple[int, ...]],
     stack: List[Tuple[int, List[Tuple[int, ...]]]],
     occ_limit: int = 12,
+    frozen: frozenset = frozenset(),
 ) -> Tuple[Optional[List[Tuple[int, ...]]], int]:
     """Bounded variable elimination (NiVER): resolve out a variable when
     the non-tautological resolvents do not outnumber the clauses removed.
@@ -274,10 +285,12 @@ def _eliminate_variables(
     Only variables with at most ``occ_limit`` total occurrences are
     tried — the O(1) gate keeps the pass linear-ish on large formulas,
     and high-occurrence variables almost never eliminate without growth
-    anyway.  Eliminated variables and their clauses are pushed on
-    ``stack`` for model reconstruction.  Returns
-    ``(clauses, #eliminated)``, or ``(None, #eliminated)`` when an
-    empty resolvent proves UNSAT.
+    anyway.  ``frozen`` variables are never candidates: incremental
+    callers assume them per query (or add clauses over them later), so
+    resolving them out of the formula would break those calls.
+    Eliminated variables and their clauses are pushed on ``stack`` for
+    model reconstruction.  Returns ``(clauses, #eliminated)``, or
+    ``(None, #eliminated)`` when an empty resolvent proves UNSAT.
     """
     store: Dict[int, Tuple[int, ...]] = dict(enumerate(clauses))
     occ: Dict[int, Set[int]] = {}
@@ -291,7 +304,8 @@ def _eliminate_variables(
         return len(occ.get(var, ())) * len(occ.get(-var, ()))
 
     candidates = sorted(
-        {var_of(l) for c in store.values() for l in c}, key=lambda v: (cost(v), v)
+        {var_of(l) for c in store.values() for l in c} - frozen,
+        key=lambda v: (cost(v), v),
     )
     for var in candidates:
         if len(occ.get(var, ())) + len(occ.get(-var, ())) > occ_limit:
@@ -347,6 +361,7 @@ def preprocess(
     max_rounds: int = 10,
     eliminate: bool = True,
     elimination_occ_limit: int = 12,
+    frozen: Iterable[int] = (),
 ) -> PreprocessResult:
     """Simplify a CNF-only formula; PB constraints are rejected.
 
@@ -356,9 +371,18 @@ def preprocess(
     :meth:`PreprocessResult.extend_model`.  ``eliminate=False`` turns
     bounded variable elimination off (useful when callers want the
     reduced formula to use only implied clauses of the input).
+
+    ``frozen`` names variables an incremental caller will later assume
+    (or add clauses over): they are exempt from pure-literal elimination
+    and variable elimination, and any top-level unit derived on one is
+    *re-emitted as a unit clause* in the output — the solver must still
+    learn the fact at level 0 so a contradicting assumption fails with a
+    core, instead of silently "succeeding" on a formula the fact was
+    substituted out of.
     """
     if formula.pb_constraints:
         raise ValueError("preprocess handles CNF-only formulas")
+    frozen_set = frozenset(frozen)
     result = PreprocessResult(formula=None, num_vars=formula.num_vars)
     clauses, tautologies, duplicates = _canonical_intake(
         [c.literals for c in formula.clauses]
@@ -372,7 +396,7 @@ def preprocess(
         if clauses_or_none is None:
             return result  # UNSAT
         clauses = clauses_or_none
-        clauses, pure = _eliminate_pure(clauses, forced)
+        clauses, pure = _eliminate_pure(clauses, forced, frozen_set)
         result.pure_eliminated += pure
         clauses, subsumed, strengthened = subsume_clauses(clauses)
         result.subsumed += subsumed
@@ -382,7 +406,8 @@ def preprocess(
         removed = 0
         if eliminate:
             clauses_or_none, removed = _eliminate_variables(
-                clauses, result.eliminated, occ_limit=elimination_occ_limit
+                clauses, result.eliminated,
+                occ_limit=elimination_occ_limit, frozen=frozen_set,
             )
             result.variables_eliminated += removed
             if clauses_or_none is None:
@@ -391,6 +416,9 @@ def preprocess(
         if not (units or pure or subsumed or strengthened or removed):
             break
     out = Formula(num_vars=formula.num_vars)
+    for var in sorted(frozen_set):
+        if var in forced:
+            out.add_clause([var if forced[var] else -var])
     for clause in clauses:
         out.add_clause(clause)
     result.formula = out

@@ -2,11 +2,17 @@
 
 The contract under test (see ``repro.api.results.RunContext``): time
 limits make the *engine* give up with UNKNOWN/best-so-far; the cancel
-predicate is polled between stages and between K queries and makes the
-run return its best-so-far answer with ``cancelled=True`` — neither
-ever raises.  The batch layer's timeout -> fallback-promotion path on
-top of this plumbing is covered in ``tests/test_batch.py``.
+predicate is polled between stages, between K queries, *and inside
+each query* (every few dozen conflicts in the CDCL search loop) and
+makes the run return its best-so-far answer with ``cancelled=True`` —
+neither ever raises.  The in-query polling closes the gap the ROADMAP
+flagged after PR 4: a single monster UNSAT query inside a
+``Session.chromatic`` used to be uninterruptible without the batch
+layer's hard kill.  The batch layer's timeout -> fallback-promotion
+path on top of this plumbing is covered in ``tests/test_batch.py``.
 """
+
+import time
 
 from repro.api import (
     BudgetedOptimize,
@@ -15,6 +21,8 @@ from repro.api import (
     Session,
 )
 from repro.graphs.generators import mycielski_graph, queens_graph
+from repro.sat.cdcl import CDCLSolver
+from repro.core.formula import Formula
 
 
 class FlipAfter:
@@ -87,6 +95,94 @@ def test_pipeline_time_limit_chromatic_gives_unproved_bound():
     assert not result.solved
     if result.status == "SAT":
         assert result.num_colors is not None
+
+
+def _pigeonhole(pigeons, holes):
+    f = Formula()
+    x = {(p, h): f.new_var() for p in range(pigeons) for h in range(holes)}
+    for p in range(pigeons):
+        f.add_clause([x[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                f.add_clause([-x[p1, h], -x[p2, h]])
+    return f
+
+
+def test_solver_should_stop_interrupts_mid_query():
+    # The hole-count makes the refutation cost thousands of conflicts;
+    # the stop predicate (polled every 64 conflicts) must cut it short
+    # long before that, and the solver must survive for the next call.
+    solver = CDCLSolver()
+    assert solver.add_formula(_pigeonhole(7, 6))
+    polls = FlipAfter(3)
+    result = solver.solve(should_stop=polls)
+    assert result.status == "UNKNOWN"
+    assert polls.remaining < 0  # the predicate really was consulted
+    assert result.stats.conflicts < 1000  # far short of the full proof
+    # The same solver still finishes the proof when left alone.
+    assert solver.solve().is_unsat
+
+
+def test_interrupt_at_decision_poll_never_loses_vsids_vars():
+    """An interrupt that fires at the decision poll must push the
+    just-popped variable back on the VSIDS heap — losing it would make
+    a later solve() on the same solver "run out" of variables and
+    report a false SAT model."""
+    solver = CDCLSolver()
+    solver.add_clause([1, 2])
+    for _ in range(4):
+        # stats.decisions is cumulative, so align the counter with the
+        # poll mask each round to force the interrupt mid-decision.
+        solver.stats.decisions = 1023
+        interrupted = solver.solve(should_stop=lambda: True)
+        assert interrupted.status == "UNKNOWN"
+    solver.stats.decisions = 0
+    result = solver.solve()
+    assert result.is_sat
+    assert result.model[1] or result.model[2]  # the clause really holds
+
+
+def test_session_cancel_interrupts_monster_unsat_query():
+    """The ROADMAP gap: queens 6x6 at K=6 is an UNSAT proof far beyond
+    any test budget, and the session has NO time limit — only the
+    cancel predicate, which must fire *inside* the query."""
+    start = time.monotonic()
+    cancel = lambda: time.monotonic() - start > 0.5  # noqa: E731
+    with Session(queens_graph(6, 6), cancel=cancel) as session:
+        result = session.decide(6)  # no time_limit on purpose
+    elapsed = time.monotonic() - start
+    assert result.status == "UNKNOWN"
+    assert result.cancelled
+    assert elapsed < 30, f"in-query cancellation took {elapsed:.1f}s"
+
+
+def test_session_chromatic_cancel_interrupts_mid_descent():
+    # The descent reaches the monster K=6 UNSAT query after two cheap
+    # SAT queries; the cancel must interrupt it from inside and the
+    # best-so-far (K=7) answer must survive.
+    start = time.monotonic()
+    cancel = lambda: time.monotonic() - start > 1.0  # noqa: E731
+    with Session(queens_graph(6, 6), cancel=cancel) as session:
+        result = session.chromatic(strategy="linear")
+    elapsed = time.monotonic() - start
+    assert result.cancelled
+    assert result.status == "SAT"
+    assert result.num_colors is not None
+    assert result.coloring is not None
+    assert elapsed < 30, f"in-query cancellation took {elapsed:.1f}s"
+
+
+def test_pipeline_cancel_interrupts_mid_query():
+    start = time.monotonic()
+    cancel = lambda: time.monotonic() - start > 1.0  # noqa: E731
+    result = (Pipeline()
+              .solve(backend="cdcl-incremental")  # no time limit
+              .run(ChromaticProblem(queens_graph(6, 6)), cancel=cancel))
+    elapsed = time.monotonic() - start
+    assert result.cancelled
+    assert result.status in ("SAT", "UNKNOWN")
+    assert elapsed < 30, f"in-query cancellation took {elapsed:.1f}s"
 
 
 def test_cancel_cannot_revoke_a_bounds_proved_optimum():

@@ -1,11 +1,17 @@
 """Stress tests for solver internals: restarts, clause-DB reduction,
-phase saving, VSIDS, and the preprocessing + search integration."""
+phase saving, VSIDS, clause-group garbage collection, assumption-aware
+preprocessing, and the preprocessing + search integration."""
 
 import random
 
+import pytest
+
+from repro.coloring.sat_pipeline import IncrementalKSearch
 from repro.core.formula import Formula
+from repro.graphs.generators import mycielski_graph, queens_graph
 from repro.sat.cdcl import CDCLSolver, solve_formula
 from repro.sat.preprocessing import preprocess
+from repro.sat.result import SAT, UNSAT
 from repro.sat.vsids import VSIDS
 from repro.sat.brute import brute_force_solve
 
@@ -103,6 +109,162 @@ def test_solver_reuse_after_unsat_result():
     solver.add_clause([1, 2])
     assert solver.solve(assumptions=[-1, -2]).is_unsat
     assert solver.solve().is_sat  # UNSAT was only under assumptions
+
+
+# ---------------------------------------------------------------- clause GC
+def test_collect_level0_satisfied_drops_clauses_and_watchers():
+    solver = CDCLSolver(num_vars=6)
+    solver.add_clause([1, 2])
+    solver.add_clause([1, 3, 4])
+    solver.add_clause([-2, 5])
+    solver.add_clause([3, -5, 6])
+    watchers_before = solver.watcher_count()
+    assert len(solver.clauses) == 4
+    solver.add_clause([1])  # satisfies the first two clauses at level 0
+    removed = solver.collect_level0_satisfied()
+    assert removed["clauses"] == 2
+    assert removed["watchers"] == 4
+    assert len(solver.clauses) == 2
+    assert solver.watcher_count() == watchers_before - 4
+    # The swept solver still answers correctly.
+    result = solver.solve(assumptions=[2])
+    assert result.is_sat and result.model[5]
+
+
+def test_collect_level0_requires_root_level():
+    solver = CDCLSolver(num_vars=2)
+    solver.add_clause([1, 2])
+    solver.trail_lim.append(len(solver.trail))
+    solver._enqueue(1, None)
+    with pytest.raises(RuntimeError, match="level 0"):
+        solver.collect_level0_satisfied()
+    solver._backtrack(0)
+
+
+def test_permanent_shrink_garbage_collects_color_groups():
+    """Disabling colors permanently must reclaim their clause groups:
+    clause count and watcher count actually drop, and later queries on
+    the shrunk solver stay correct."""
+    graph = queens_graph(5, 5)  # chi = 5
+    search = IncrementalKSearch(graph, 8)
+    status, coloring, _ = search.solve_k(7, permanent=True)
+    assert status == SAT
+    clauses_before = len(search.solver.clauses) + len(search.solver.learned)
+    watchers_before = search.solver.watcher_count()
+    gc_before = dict(search.gc_stats)
+    status, coloring, _ = search.solve_k(5, permanent=True)
+    assert status == SAT
+    assert search.gc_stats["clauses"] > gc_before["clauses"]
+    assert search.gc_stats["watchers"] > gc_before["watchers"]
+    assert len(search.solver.clauses) + len(search.solver.learned) < clauses_before
+    assert search.solver.watcher_count() < watchers_before
+    # Correctness on the shrunk database: K=4 is UNSAT for queens 5x5.
+    status, _, _ = search.solve_k(4, permanent=True)
+    assert status == UNSAT
+
+
+def test_grow_to_garbage_collects_retired_generation():
+    graph = mycielski_graph(3)
+    search = IncrementalKSearch(graph, 3, growable=True)
+    assert search.solve_k(3)[0] == UNSAT  # chi(myciel3) = 4
+    assert search.gc_stats["clauses"] == 0
+    search.grow_to(5)
+    # The retired at-least-one generation (one clause per vertex, all
+    # satisfied by the level-0 ext unit) must have been reclaimed.
+    assert search.gc_stats["clauses"] >= graph.num_vertices
+    assert search.gc_stats["watchers"] >= 2 * graph.num_vertices
+    status, coloring, _ = search.solve_k(4)
+    assert status == SAT
+    assert graph.is_proper_coloring(coloring)
+    assert search.solve_k(3)[0] == UNSAT  # refutation survived the sweep
+
+
+# ------------------------------------------------- assumption-aware preprocess
+def test_bve_respects_frozen_variables():
+    # Every variable occurs in both phases (no pure literals), and var 1
+    # is NiVER-eliminable (one positive, one negative occurrence);
+    # freezing it must block exactly that elimination.
+    def formula():
+        f = Formula(num_vars=4)
+        f.add_clause([1, 2])
+        f.add_clause([-1, 3])
+        f.add_clause([-2, -3])
+        f.add_clause([2, -4])
+        f.add_clause([-3, 4])
+        return f
+
+    free = preprocess(formula())
+    assert 1 in {var for var, _ in free.eliminated}
+    frozen = preprocess(formula(), frozen=[1])
+    assert 1 not in {var for var, _ in frozen.eliminated}
+    assert frozen.variables_eliminated >= 1  # others still eliminate
+    # Both reductions stay equisatisfiable with the input.
+    assert brute_force_solve(formula()).is_sat
+    for pre in (free, frozen):
+        assert not pre.is_unsat
+        if pre.formula.clauses:
+            assert solve_formula(pre.formula).is_sat
+
+
+def test_pure_literal_elimination_respects_frozen_variables():
+    # Var 2 is pure (positive only); frozen, it must survive with its
+    # clauses so an assumption of -2 can still constrain the formula.
+    from repro.sat.preprocessing import _eliminate_pure
+
+    clauses = [(2, 1), (2, -1)]
+    forced = {}
+    kept, pure = _eliminate_pure(list(clauses), forced)
+    assert forced.get(2) is True and pure == 1 and kept == []
+    forced = {}
+    kept, pure = _eliminate_pure(list(clauses), forced, frozenset([2]))
+    assert 2 not in forced and pure == 0
+    assert all(2 in clause for clause in kept)
+
+
+def test_preprocess_reemits_frozen_units():
+    """A top-level unit derived on a frozen variable must stay in the
+    formula as a unit clause, so a contradicting assumption still fails
+    in the solver instead of silently succeeding."""
+    f = Formula(num_vars=3)
+    f.add_clause([1])
+    f.add_clause([-1, 2])  # forces the frozen var 2
+    f.add_clause([2, 3])
+    pre = preprocess(f, frozen=[2])
+    assert pre.forced[2] is True
+    assert (2,) in {c.literals for c in pre.formula.clauses}
+    solver = CDCLSolver(num_vars=pre.formula.num_vars)
+    assert solver.add_formula(pre.formula)
+    refuted = solver.solve(assumptions=[-2])
+    assert refuted.is_unsat
+    assert refuted.failed_assumptions == [-2]
+
+
+def test_incremental_eliminate_never_touches_activators():
+    graph = mycielski_graph(3)
+    search = IncrementalKSearch(graph, 5, eliminate=True, sbp_kind="sc")
+    assert search._pre is not None
+    eliminated = {var for var, _ in search._pre.eliminated}
+    frozen = set(search.activators.values())
+    assert not eliminated & frozen
+    # Activators survive in the clause database, so assumption queries
+    # still answer with cores: chi(myciel3) = 4.
+    assert search.solve_k(4)[0] == SAT
+    status, _, failed = search.solve_k(3)
+    assert status == UNSAT
+    status, coloring, _ = search.solve_k(5)
+    assert status == SAT and graph.is_proper_coloring(coloring)
+
+
+def test_incremental_eliminate_agrees_with_plain_simplify():
+    for graph in (mycielski_graph(3), queens_graph(4, 4)):
+        plain = IncrementalKSearch(graph, 6, eliminate=False)
+        bve = IncrementalKSearch(graph, 6, eliminate=True)
+        for k in (6, 5, 4, 3, 2):
+            s_plain, c_plain, _ = plain.solve_k(k)
+            s_bve, c_bve, _ = bve.solve_k(k)
+            assert s_plain == s_bve, (graph.name, k)
+            if s_bve == SAT:
+                assert graph.is_proper_coloring(c_bve), (graph.name, k)
 
 
 def test_large_implication_chain_fast():
