@@ -9,11 +9,14 @@
 # on regressions vs the committed baselines (the CI perf gate);
 # `make batch-smoke` runs the example manifest through the parallel
 # fleet runner; `make coverage` runs the tier-1 suite under pytest-cov
-# with the CI coverage floor; `make lint` runs ruff.
+# with the CI coverage floor; `make lint` runs ruff; `make analyze`
+# runs the solver-invariant static checker (repro.analysis — pure
+# stdlib, always available); `make typecheck` runs the typed-core mypy
+# gate (mypy.ini).
 #
-# Tools that offline dev environments may lack (ruff, pytest-cov) are
-# skipped with a notice locally but are hard failures when CI is set —
-# a missing install must never green a CI job.
+# Tools that offline dev environments may lack (ruff, pytest-cov,
+# mypy) are skipped with a notice locally but are hard failures when
+# CI is set — a missing install must never green a CI job.
 
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
@@ -22,8 +25,8 @@ COV_FLOOR ?= 84
 # deterministic (PR runs), "nightly" explores fresh seeds (scheduled CI).
 HYPOTHESIS_PROFILE ?= ci
 
-.PHONY: test lint bench-smoke bench bench-json bench-check batch-smoke \
-	coverage fuzz-smoke
+.PHONY: test lint analyze typecheck bench-smoke bench bench-json \
+	bench-check batch-smoke coverage fuzz-smoke
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -40,6 +43,19 @@ lint:
 		exit 1; \
 	else \
 		echo "ruff not installed; skipping lint (CI installs it)"; \
+	fi
+
+analyze:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis src
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --config-file mypy.ini -p repro; \
+	elif [ -n "$(CI)" ]; then \
+		echo "mypy is not installed but CI is set; refusing to false-pass"; \
+		exit 1; \
+	else \
+		echo "mypy not installed; skipping typecheck (CI installs it)"; \
 	fi
 
 coverage:

@@ -13,16 +13,14 @@ Two questions, matching the pipeline's two jobs:
   interference), where kernelization routinely deletes the whole graph.
 """
 
+import random
 import time
 
 import pytest
 
 from repro.api import ChromaticProblem, Pipeline
 from repro.coloring.sat_pipeline import encode_k_coloring_cnf
-from repro.graphs.generators import book_graph, interference_graph
 from repro.sat.preprocessing import preprocess, subsume_clauses
-
-import random
 
 
 def random_clauses(num_clauses, num_vars, seed=42, min_width=2, max_width=5):

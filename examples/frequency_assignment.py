@@ -53,7 +53,7 @@ def main() -> None:
     report = detect_symmetries(encoding.formula, node_limit=50000)
     print(f"symmetries of the encoded instance: #S={report.order:.3g} "
           f"(#G={report.num_generators}) — includes the per-region "
-          f"vertex swaps the paper predicts")
+          "vertex swaps the paper predicts")
 
     result = (
         Pipeline()
@@ -65,7 +65,7 @@ def main() -> None:
     )
     print(f"\nminimum number of frequencies: {result.num_colors} ({result.status})")
     print(f"(lex-leader SBPs built from {result.detection.num_generators} "
-          f"detected generators)")
+          "detected generators)")
     for region, vertices in vertex_of.items():
         freqs = sorted(result.coloring[v] for v in vertices)
         print(f"  {region:7s}: frequencies {freqs}")

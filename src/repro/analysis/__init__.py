@@ -1,0 +1,51 @@
+"""repro.analysis — the solver-invariant static checker.
+
+Generic linters cannot know that clause intake must pass tautology
+screening, that solve loops must poll ``should_stop``, or that decision
+order feeds a differential oracle.  This package machine-checks those
+repo-specific invariants (rules ``RPR001``–``RPR006``) on every PR,
+the same way ``scripts/check_bench.py`` machine-checks the perf
+trajectory.
+
+Run it with ``python -m repro.analysis src`` or ``make analyze``; see
+``docs/invariants.md`` for what each rule protects and why.
+"""
+
+from .core import (
+    META_RULE_ID,
+    FileReport,
+    Finding,
+    Rule,
+    ScopeResolver,
+    SourceFile,
+    Suppression,
+    all_rules,
+    check_file,
+    get_rules,
+    package_rel,
+    parse_suppressions,
+    register_rule,
+)
+from .report import render_human, render_json
+from .runner import collect_files, has_findings, run
+
+__all__ = [
+    "META_RULE_ID",
+    "FileReport",
+    "Finding",
+    "Rule",
+    "ScopeResolver",
+    "SourceFile",
+    "Suppression",
+    "all_rules",
+    "check_file",
+    "collect_files",
+    "get_rules",
+    "has_findings",
+    "package_rel",
+    "parse_suppressions",
+    "register_rule",
+    "render_human",
+    "render_json",
+    "run",
+]

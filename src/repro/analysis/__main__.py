@@ -1,0 +1,90 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 when no findings remain after suppressions, 1 when
+findings exist, 2 on usage/parse errors — so CI can gate on it
+directly (``make analyze``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import rules as _rules  # noqa: F401  (import registers the rules)
+from .core import all_rules, get_rules
+from .report import render_human, render_json
+from .runner import has_findings, run
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Solver-invariant static checker (rules RPR001-RPR006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of diff-style text",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules with their rationale and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    rule_ids: Optional[List[str]] = None
+    if args.rules:
+        rule_ids = [part for part in args.rules.split(",") if part.strip()]
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        reports = run(paths, rule_ids)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rules = get_rules(rule_ids)
+    if args.json:
+        print(render_json(reports, rules))
+    else:
+        print(render_human(reports, rules))
+    return 1 if has_findings(reports) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

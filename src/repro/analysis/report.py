@@ -1,0 +1,59 @@
+""" Output formatting for the checker: a human diff-style rendering and
+a machine-readable JSON document (stable key order, sorted findings) so
+CI and tooling can consume the same run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .core import FileReport, Finding, Rule
+
+
+def _sorted_findings(reports: Sequence[FileReport]) -> List[Finding]:
+    out: List[Finding] = []
+    for report in reports:
+        out.extend(report.findings)
+    return sorted(out, key=Finding.sort_key)
+
+
+def render_human(reports: Sequence[FileReport], rules: Sequence[Rule]) -> str:
+    """Diff-style rendering: path:line, the offending source line with a
+    caret, the rule id and message."""
+    lines: List[str] = []
+    findings = _sorted_findings(reports)
+    for finding in findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                     f"{finding.rule_id} {finding.message}")
+        if finding.source_line:
+            lines.append(f"    | {finding.source_line}")
+            lines.append(f"    | {' ' * finding.col}^")
+    checked = len(reports)
+    suppressed = sum(len(r.suppressed) for r in reports)
+    summary = (
+        f"{len(findings)} finding(s), {suppressed} suppressed, "
+        f"{checked} file(s) checked, {len(rules)} rule(s)"
+    )
+    if findings:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(reports: Sequence[FileReport], rules: Sequence[Rule]) -> str:
+    findings = _sorted_findings(reports)
+    suppressed: List[Finding] = []
+    for report in reports:
+        suppressed.extend(report.suppressed)
+    suppressed.sort(key=Finding.sort_key)
+    doc: Dict[str, object] = {
+        "rules": [
+            {"id": rule.rule_id, "title": rule.title, "rationale": rule.rationale}
+            for rule in rules
+        ],
+        "files_checked": len(reports),
+        "findings": [f.to_dict() for f in findings],
+        "suppressed": [f.to_dict() for f in suppressed],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

@@ -1,0 +1,61 @@
+"""File collection and rule execution: point :func:`run` at one or
+more paths and it parses every ``.py`` file beneath them, runs the
+applicable rules and returns per-file reports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from . import rules as _rules  # noqa: F401  (import registers the rules)
+from .core import FileReport, Rule, SourceFile, check_file, get_rules, package_rel
+
+#: Directories never worth descending into.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "build", "dist", ".mypy_cache"}
+)
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.append(path)
+            continue
+        for sub in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in sub.parts):
+                continue
+            out.append(sub)
+    return sorted(set(out))
+
+
+def iter_reports(
+    files: Sequence[Path], rules: Sequence[Rule]
+) -> Iterator[FileReport]:
+    for path in files:
+        # The checker itself is exempt: rule sources quote the very
+        # patterns they hunt for.
+        rel = package_rel(path)
+        if rel.startswith("analysis/"):
+            continue
+        try:
+            source = SourceFile.load(path, rel)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            raise RuntimeError(f"cannot parse {path}: {exc}") from exc
+        yield check_file(source, rules)
+
+
+def run(
+    paths: Sequence[Path], rule_ids: Optional[Sequence[str]] = None
+) -> List[FileReport]:
+    """Check ``paths`` with the selected rules (all rules by default)."""
+    rules = get_rules(rule_ids)
+    files = collect_files(paths)
+    return list(iter_reports(files, rules))
+
+
+def has_findings(reports: Sequence[FileReport]) -> bool:
+    return any(report.findings for report in reports)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import abc
 import time
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 from ..coloring.exact_dsatur import exact_chromatic_number
 from ..coloring.sat_pipeline import chromatic_number_sat, sat_k_colorable
@@ -165,10 +165,13 @@ class _OptimizeFlowBackend(Backend):
             problem.graph, problem.max_colors, config, ctx, self
         )
 
-    def minimize(self, formula, time_limit, conflict_limit, upper, lower, incremental):
+    def minimize(
+        self, formula, time_limit, conflict_limit, upper, lower, incremental,
+        should_stop=None,
+    ):
         raise NotImplementedError
 
-    def decide(self, formula, time_limit, conflict_limit) -> SolveResult:
+    def decide(self, formula, time_limit, conflict_limit, should_stop=None) -> SolveResult:
         raise NotImplementedError
 
 
@@ -182,7 +185,10 @@ class PBPresetBackend(_OptimizeFlowBackend):
         self.persistent = True  # bound probes share one persistent solver
         self.description = self.preset.description
 
-    def minimize(self, formula, time_limit, conflict_limit, upper, lower, incremental):
+    def minimize(
+        self, formula, time_limit, conflict_limit, upper, lower, incremental,
+        should_stop=None,
+    ):
         return minimize(
             formula,
             strategy=self.preset.optimization_strategy,
@@ -192,13 +198,18 @@ class PBPresetBackend(_OptimizeFlowBackend):
             upper_bound_hint=upper,
             lower_bound=lower,
             incremental=incremental,
+            should_stop=should_stop,
         )
 
-    def decide(self, formula, time_limit, conflict_limit) -> SolveResult:
+    def decide(self, formula, time_limit, conflict_limit, should_stop=None) -> SolveResult:
         solver = self.preset.make_solver(formula.num_vars)
         if not solver.add_formula(formula):
             return SolveResult(UNSAT)
-        return solver.solve(time_limit=time_limit, conflict_limit=conflict_limit)
+        return solver.solve(
+            time_limit=time_limit,
+            conflict_limit=conflict_limit,
+            should_stop=should_stop,
+        )
 
 
 class BranchAndBoundBackend(_OptimizeFlowBackend):
@@ -207,11 +218,18 @@ class BranchAndBoundBackend(_OptimizeFlowBackend):
     name = "cplex-bb"
     description = "LP-relaxation branch and bound standing in for CPLEX"
 
-    def minimize(self, formula, time_limit, conflict_limit, upper, lower, incremental):
-        return BranchAndBoundSolver().optimize(formula, time_limit=time_limit)
+    def minimize(
+        self, formula, time_limit, conflict_limit, upper, lower, incremental,
+        should_stop=None,
+    ):
+        return BranchAndBoundSolver().optimize(
+            formula, time_limit=time_limit, should_stop=should_stop
+        )
 
-    def decide(self, formula, time_limit, conflict_limit) -> SolveResult:
-        result = BranchAndBoundSolver().optimize(formula, time_limit=time_limit)
+    def decide(self, formula, time_limit, conflict_limit, should_stop=None) -> SolveResult:
+        result = BranchAndBoundSolver().optimize(
+            formula, time_limit=time_limit, should_stop=should_stop
+        )
         if result.status in (OPTIMAL, SAT) and result.best_model is not None:
             return SolveResult(SAT, model=result.best_model, stats=result.stats)
         return SolveResult(result.status, stats=result.stats)

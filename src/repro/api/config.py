@@ -19,7 +19,7 @@ transform) and ``solve`` last; the middle stages permute freely.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..sbp.instance_independent import SBP_KINDS
 
@@ -33,7 +33,7 @@ SHATTER_STAGE_ORDER: Tuple[str, ...] = (
 )
 
 
-def _check_choice(value: str, choices, what: str) -> None:
+def _check_choice(value: str, choices: Sequence[str], what: str) -> None:
     if value not in choices:
         raise ValueError(
             f"unknown {what} {value!r}; registered choices: {tuple(choices)}"
@@ -56,7 +56,7 @@ class EncodeConfig:
 
     amo: str = "pairwise"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_choice(self.amo, AMO_ENCODINGS, "at-most-one encoding")
 
 
@@ -70,7 +70,7 @@ class SymmetryConfig:
     instance_dependent: bool = False
     detection_node_limit: Optional[int] = 50000
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_choice(self.sbp_kind, SBP_KINDS, "SBP kind")
 
 
@@ -102,7 +102,7 @@ class SolveConfig:
     split_components: bool = True
     pool_threads: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.strategy is not None:
             _check_choice(self.strategy, SEARCH_STRATEGIES, "search strategy")
         if self.pool_threads < 0:
@@ -126,7 +126,7 @@ class PipelineConfig:
     solve: SolveConfig = field(default_factory=SolveConfig)
     order: Tuple[str, ...] = DEFAULT_STAGE_ORDER
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         order = tuple(self.order)
         object.__setattr__(self, "order", order)
         if sorted(order) != sorted(STAGES):
@@ -143,7 +143,7 @@ class PipelineConfig:
         """The stages between encoding and solving, in execution order."""
         return tuple(s for s in self.order if s in ("sbp", "simplify", "detect"))
 
-    def with_stage(self, **stage_configs) -> "PipelineConfig":
+    def with_stage(self, **stage_configs: object) -> "PipelineConfig":
         """Copy with the named stage configs replaced."""
         return replace(self, **stage_configs)
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..coloring.encoding import (
     ColoringEncoding,
@@ -39,14 +39,11 @@ from ..sat.result import OPTIMAL, SAT, UNKNOWN, UNSAT
 from ..sbp.lex_leader import add_symmetry_breaking_predicates
 from ..symmetry.detect import SymmetryReport, detect_symmetries
 from .config import (
-    DEFAULT_STAGE_ORDER,
     PipelineConfig,
     ReduceConfig,
-    SolveConfig,
-    SymmetryConfig,
 )
-from .problems import BUDGETED, CHROMATIC, DECISION, Problem
-from .results import Provenance, Result, RunContext, StageStat
+from .problems import CHROMATIC, DECISION, Problem
+from .results import ProgressEvent, Provenance, Result, RunContext, StageStat
 
 
 class Pipeline:
@@ -60,25 +57,25 @@ class Pipeline:
         slow = base.solve(backend="cplex-bb", time_limit=600)
     """
 
-    def __init__(self, config: Optional[PipelineConfig] = None):
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
         self._config = config if config is not None else PipelineConfig()
 
     @property
     def config(self) -> PipelineConfig:
         return self._config
 
-    def _replace(self, **kwargs) -> "Pipeline":
+    def _replace(self, **kwargs: object) -> "Pipeline":
         return Pipeline(replace(self._config, **kwargs))
 
     def reduce(self, enabled: bool = True) -> "Pipeline":
         """Toggle graph kernelization (peeling + component split)."""
         return self._replace(reduce=ReduceConfig(enabled=enabled))
 
-    def encode(self, **kwargs) -> "Pipeline":
+    def encode(self, **kwargs: object) -> "Pipeline":
         """Configure constraint compilation (``amo=...``)."""
         return self._replace(encode=replace(self._config.encode, **kwargs))
 
-    def symmetry(self, **kwargs) -> "Pipeline":
+    def symmetry(self, **kwargs: object) -> "Pipeline":
         """Configure symmetry breaking (``sbp_kind``,
         ``instance_dependent``, ``detection_node_limit``)."""
         return self._replace(symmetry=replace(self._config.symmetry, **kwargs))
@@ -87,7 +84,7 @@ class Pipeline:
         """Toggle model-preserving clause simplification."""
         return self._replace(simplify=replace(self._config.simplify, enabled=enabled))
 
-    def solve(self, **kwargs) -> "Pipeline":
+    def solve(self, **kwargs: object) -> "Pipeline":
         """Configure the solve stage (``backend``, ``strategy``,
         ``time_limit``, ``conflict_limit``, ``incremental``,
         ``use_bounds``)."""
@@ -100,9 +97,9 @@ class Pipeline:
     def run(
         self,
         problem: Problem,
-        on_progress=None,
-        cancel=None,
-        detection_cache: Optional[Dict] = None,
+        on_progress: Optional[Callable[[ProgressEvent], None]] = None,
+        cancel: Optional[Callable[[], bool]] = None,
+        detection_cache: Optional[Dict[Any, Any]] = None,
     ) -> Result:
         """Execute the configured pipeline on ``problem``.
 
@@ -279,6 +276,7 @@ def _run_reduced(
             return merged
         if result.status == SAT and not decision:
             merged.status = SAT  # feasible but optimality not proved
+        merged.cancelled = merged.cancelled or result.cancelled
         info.components_solved += 1
         for local, color in normalize_coloring(result.coloring).items():
             kernel_coloring[component[local]] = color
@@ -412,15 +410,20 @@ def _run_formula_stages(
 
     t0 = time.monotonic()
     ctx.emit("solve", "decision query" if decision else "minimizing used colors")
+    cancel_hook = ctx.cancelled if ctx.cancel else None
     if decision:
         solve_result = engine.decide(
-            formula, solve_cfg.time_limit, solve_cfg.conflict_limit
+            formula, solve_cfg.time_limit, solve_cfg.conflict_limit,
+            should_stop=cancel_hook,
         )
         seconds = time.monotonic() - t0
         stages.append(StageStat("solve", seconds, {"status": solve_result.status}))
-        return _package_decision(
+        packaged = _package_decision(
             encoding, solve_result, stages, info, detection
         )
+        if packaged.status == UNKNOWN and ctx.cancelled():
+            packaged.cancelled = True
+        return packaged
     opt_result = engine.minimize(
         formula,
         solve_cfg.time_limit,
@@ -428,10 +431,17 @@ def _run_formula_stages(
         upper,
         lower,
         solve_cfg.incremental,
+        should_stop=cancel_hook,
     )
     seconds = time.monotonic() - t0
     stages.append(StageStat("solve", seconds, {"status": opt_result.status}))
-    return _package_optimize(encoding, opt_result, stages, info, detection)
+    packaged = _package_optimize(encoding, opt_result, stages, info, detection)
+    # A stop that fired inside the minimize loop surfaces as a
+    # best-so-far SAT/UNKNOWN; stamp it so callers can tell a cancelled
+    # descent from a naturally unproved one.
+    if not packaged.solved and ctx.cancelled():
+        packaged.cancelled = True
+    return packaged
 
 
 def _package_optimize(

@@ -38,14 +38,14 @@ class Problem:
 
     kind: ClassVar[str] = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not isinstance(self.graph, Graph):
             raise ValueError(
                 f"problem graph must be a repro Graph, got {type(self.graph).__name__}"
             )
 
 
-def _check_budget(value, what: str) -> None:
+def _check_budget(value: object, what: str) -> None:
     if not isinstance(value, int) or isinstance(value, bool) or value < 0:
         raise ValueError(f"{what} must be a non-negative int, got {value!r}")
 
@@ -58,7 +58,7 @@ class DecisionProblem(Problem):
 
     kind: ClassVar[str] = DECISION
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         _check_budget(self.k, "color count k")
 
@@ -76,7 +76,7 @@ class ChromaticProblem(Problem):
 
     kind: ClassVar[str] = CHROMATIC
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         if self.max_colors is not None:
             _check_budget(self.max_colors, "max_colors")
@@ -90,6 +90,6 @@ class BudgetedOptimize(Problem):
 
     kind: ClassVar[str] = BUDGETED
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         _check_budget(self.max_colors, "max_colors")

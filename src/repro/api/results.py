@@ -17,7 +17,7 @@ rather than raising), and the shared symmetry-detection cache.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..coloring.solve import PipelineInfo
 from ..sat.result import OPTIMAL, SAT, UNSAT, SolverStats
@@ -49,7 +49,7 @@ class RunContext:
 
     on_progress: Optional[Callable[[ProgressEvent], None]] = None
     cancel: Optional[Callable[[], bool]] = None
-    detection_cache: Optional[Dict] = None
+    detection_cache: Optional[Dict[Any, Any]] = None
 
     def emit(
         self,

@@ -33,7 +33,7 @@ import importlib.util
 import json
 import os
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.dimacs import read_dimacs_graph
 from ..graphs.generators import (
@@ -48,9 +48,13 @@ from ..graphs.generators import (
 )
 from ..graphs.graph import Graph
 
+if TYPE_CHECKING:  # lazy at runtime: the api package imports this module
+    from ..api.pipeline import Pipeline
+    from ..api.problems import Problem
+
 # Generator specs name these constructors; args may be positional
 # (JSON list) or keyword (JSON object).
-GENERATORS = {
+GENERATORS: Dict[str, Callable[..., Graph]] = {
     "queens": queens_graph,
     "mycielski": mycielski_graph,
     "gnm": gnm_graph,
@@ -96,11 +100,11 @@ class GraphSpec:
     path: Optional[str] = None
     instance: Optional[str] = None
     generator: Optional[str] = None
-    args: object = None  # positional list or kwargs dict for `generator`
+    args: Any = None  # positional list or kwargs dict for `generator`
     edges: Optional[Tuple[int, Tuple[Tuple[int, int], ...]]] = None
     name: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         sources = [
             s for s in ("path", "instance", "generator", "edges")
             if getattr(self, s) is not None
@@ -117,7 +121,7 @@ class GraphSpec:
             )
 
     @classmethod
-    def from_value(cls, value) -> "GraphSpec":
+    def from_value(cls, value: object) -> "GraphSpec":
         """Parse the manifest's ``graph`` field (string shorthand or dict).
 
         A bare string is a ``.col`` path if it looks like one, else a
@@ -188,6 +192,7 @@ class GraphSpec:
             if self.name:
                 graph.name = self.name
             return graph
+        assert self.edges is not None  # __post_init__ guarantees one source
         num_vertices, edges = self.edges
         return Graph.from_edges(num_vertices, edges, name=self.name)
 
@@ -205,7 +210,7 @@ class GraphSpec:
             else:
                 arg_text = ",".join(str(a) for a in (self.args or ()))
             return f"{self.generator}({arg_text})"
-        return f"edges[{self.edges[0]}v]"
+        return f"edges[{self.edges[0] if self.edges else 0}v]"
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {}
@@ -248,7 +253,7 @@ class TaskSpec:
     pool_threads: int = 0
     time_limit: Optional[float] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         kind = PROBLEM_KIND_ALIASES.get(self.kind)
         if kind is None:
             raise ValueError(
@@ -284,7 +289,7 @@ class TaskSpec:
         return replace(self, fallback=self.fallback + tuple(extra))
 
     # ------------------------------------------------------------ execution
-    def problem(self, graph: Graph):
+    def problem(self, graph: Graph) -> "Problem":
         """The api Problem value object this task asks for."""
         from ..api.problems import (
             BudgetedOptimize,
@@ -293,16 +298,18 @@ class TaskSpec:
         )
 
         if self.kind == "decision":
+            assert self.k is not None  # __post_init__ guarantees it
             return DecisionProblem(graph, self.k)
         if self.kind == "budgeted-optimize":
+            assert self.max_colors is not None  # __post_init__ guarantees it
             return BudgetedOptimize(graph, self.max_colors)
         return ChromaticProblem(graph, max_colors=self.max_colors)
 
-    def pipeline(self, backend: str, time_limit: Optional[float]):
+    def pipeline(self, backend: str, time_limit: Optional[float]) -> "Pipeline":
         """The configured api Pipeline for one attempt on ``backend``."""
         from ..api.pipeline import Pipeline
 
-        symmetry_kwargs = {
+        symmetry_kwargs: Dict[str, Any] = {
             "sbp_kind": self.sbp_kind,
             "instance_dependent": self.instance_dependent,
         }
@@ -337,7 +344,7 @@ class TaskSpec:
             )
         if "graph" not in data:
             raise ValueError(f"task entry needs a 'graph' source: {data!r}")
-        kwargs = dict(data)
+        kwargs: Dict[str, Any] = dict(data)
         kwargs["graph"] = GraphSpec.from_value(kwargs["graph"])
         fallback = kwargs.get("fallback", ())
         if isinstance(fallback, str):
@@ -358,14 +365,19 @@ class TaskSpec:
         return out
 
 
-def as_task(item, index: int = 0) -> TaskSpec:
+def as_task(item: object, index: int = 0) -> TaskSpec:
     """Coerce one `solve_many` input item to a TaskSpec.
 
     Accepts TaskSpec (as-is), a manifest-style dict, an api Problem
     (wrapped with an inline edge-list graph spec), or a ``(name,
     problem)`` pair.
     """
-    from ..api.problems import Problem
+    from ..api.problems import (
+        BudgetedOptimize,
+        ChromaticProblem,
+        DecisionProblem,
+        Problem,
+    )
 
     name = ""
     if (
@@ -379,17 +391,18 @@ def as_task(item, index: int = 0) -> TaskSpec:
         return TaskSpec.from_dict(item)
     if isinstance(item, Problem):
         spec = GraphSpec.from_graph(item.graph)
-        kwargs: Dict[str, object] = {
+        kwargs: Dict[str, Any] = {
             "graph": spec,
             "kind": item.kind,
             "name": name or spec.describe() or f"task-{index}",
         }
-        if item.kind == "decision":
+        if isinstance(item, DecisionProblem):
             kwargs["k"] = item.k
-        else:
+        elif isinstance(item, BudgetedOptimize):
             kwargs["max_colors"] = item.max_colors
-        if item.kind == "budgeted-optimize":
             kwargs["backend"] = "pb-pbs2"
+        elif isinstance(item, ChromaticProblem):
+            kwargs["max_colors"] = item.max_colors
         return TaskSpec(**kwargs)
     raise ValueError(
         f"cannot interpret batch task {item!r}; expected TaskSpec, dict, "
@@ -405,7 +418,7 @@ class Manifest:
     plugins: Tuple[str, ...] = ()
 
 
-def _merge_defaults(defaults: Dict, entry: Dict) -> Dict:
+def _merge_defaults(defaults: Dict[str, Any], entry: Dict[str, Any]) -> Dict[str, Any]:
     merged = dict(defaults)
     merged.update(entry)
     return merged
@@ -441,7 +454,7 @@ def load_manifest(path: str) -> Manifest:
                     f"got {type(payload).__name__}"
                 )
     manifest = Manifest()
-    defaults: Dict[str, object] = {}
+    defaults: Dict[str, Any] = {}
     plugins: List[str] = []
     for entry in entries:
         if not isinstance(entry, dict):

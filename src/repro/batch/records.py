@@ -75,7 +75,7 @@ def result_to_record(
     return record
 
 
-def _jsonable(value):
+def _jsonable(value: object) -> object:
     """Recursively coerce provenance config values to JSON-native types."""
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}

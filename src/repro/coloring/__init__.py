@@ -8,6 +8,8 @@ from .encoding import (
     normalize_coloring,
     used_colors,
 )
+from .encoding import add_color_activation_literals
+from .enumerate import count_colorings, distinct_colorings, enumerate_models
 from .exact_dsatur import ExactColoringResult, exact_chromatic_number
 from .mehrotra_trick import (
     MTResult,
@@ -15,7 +17,6 @@ from .mehrotra_trick import (
     maximal_independent_sets,
     mt_chromatic_number,
 )
-from .enumerate import count_colorings, distinct_colorings, enumerate_models
 from .necsp import (
     NECSPOptimum,
     NECSPResult,
@@ -29,7 +30,6 @@ from .reduce import (
     peel_low_degree,
     solve_with_reduction,
 )
-from .encoding import add_color_activation_literals
 from .sat_pipeline import (
     GROWABLE_SBP_KINDS,
     IncrementalKSearch,

@@ -16,7 +16,7 @@ clauses, ``n`` PB constraints, one objective.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 from ..core.formula import Formula
 from ..graphs.graph import Graph

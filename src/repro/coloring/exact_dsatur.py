@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..graphs.cliques import greedy_clique
 from ..graphs.coloring_heuristics import dsatur

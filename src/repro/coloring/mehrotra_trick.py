@@ -49,8 +49,11 @@ def maximal_independent_sets(graph: Graph, limit: Optional[int] = None) -> List[
         if not p and not x:
             out.append(frozenset(r))
             return True
-        pivot = max(p | x, key=lambda u: len(comp_adj[u] & p))
-        for v in list(p - comp_adj[pivot]):
+        # Tie-break the pivot and sort the candidates so the columns
+        # (and with them the z-variable numbering the solver sees) come
+        # out identically on every run, whatever the hash seed.
+        pivot = max(p | x, key=lambda u: (len(comp_adj[u] & p), -u))
+        for v in sorted(p - comp_adj[pivot]):
             if not bron_kerbosch(r | {v}, p & comp_adj[v], x & comp_adj[v]):
                 return False
             p.discard(v)

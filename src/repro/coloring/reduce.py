@@ -57,8 +57,10 @@ def peel_low_degree(graph: Graph, k: int) -> Kernel:
         if not alive[v] or degree[v] >= k:
             continue
         alive[v] = False
-        peeled.append((v, [w for w in graph.neighbors(v) if alive[w]]))
-        for w in graph.neighbors(v):
+        # Sorted so the peel record (and the colors extend_coloring
+        # later picks) cannot drift with adjacency-set hash order.
+        peeled.append((v, [w for w in sorted(graph.neighbors(v)) if alive[w]]))
+        for w in sorted(graph.neighbors(v)):
             if alive[w]:
                 degree[w] -= 1
                 if degree[w] < k:

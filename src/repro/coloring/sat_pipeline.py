@@ -44,12 +44,11 @@ from ..core.formula import Formula
 from ..graphs.cliques import clique_lower_bound
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
-from ..sat.cdcl import CDCLSolver
+from ..sat.factory import new_solver
 from ..sat.preprocessing import preprocess as preprocess_cnf
 from ..sat.preprocessing import simplify_formula
 from ..sat.result import SAT, UNKNOWN, UNSAT, SolverStats
 from ..sat.vsids import VSIDS
-from ..sbp.instance_independent import SBP_KINDS
 from .encoding import add_color_activation_literals
 from .reduce import extend_coloring, peel_low_degree, solve_with_reduction
 
@@ -277,7 +276,7 @@ class IncrementalKSearch:
                 self.root_unsat = True
             else:
                 formula = simplified
-        self.solver = CDCLSolver(num_vars=formula.num_vars)
+        self.solver = new_solver(num_vars=formula.num_vars)
         if not self.root_unsat and not self.solver.add_formula(formula):
             self.root_unsat = True
         # Fresh variables created by grow_to() start above everything the
@@ -556,7 +555,7 @@ def sat_k_colorable(
         if pre.is_unsat:
             return UNSAT, None
         if pre.formula.clauses:
-            solver = CDCLSolver(num_vars=pre.formula.num_vars)
+            solver = new_solver(num_vars=pre.formula.num_vars)
             if not solver.add_formula(pre.formula):
                 return UNSAT, None
             result = solver.solve(time_limit=time_limit, should_stop=should_stop)
@@ -568,7 +567,7 @@ def sat_k_colorable(
         else:
             model = pre.extend_model({})  # preprocessing solved it
     else:
-        solver = CDCLSolver(num_vars=formula.num_vars)
+        solver = new_solver(num_vars=formula.num_vars)
         if not solver.add_formula(formula):
             return UNSAT, None
         result = solver.solve(time_limit=time_limit, should_stop=should_stop)

@@ -19,7 +19,7 @@ formula they extend.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from .formula import Formula
 

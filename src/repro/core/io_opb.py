@@ -12,7 +12,6 @@ from __future__ import annotations
 import io
 from typing import List, TextIO, Tuple, Union
 
-from .clause import Clause
 from .formula import Formula
 
 PathOrFile = Union[str, TextIO]

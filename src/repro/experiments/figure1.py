@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..coloring.encoding import ColoringEncoding, encode_coloring
 from ..graphs.graph import Graph

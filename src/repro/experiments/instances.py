@@ -16,7 +16,7 @@ and ``--scale paper`` restores the published parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..graphs.generators import (

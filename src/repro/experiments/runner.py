@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..api import BudgetedOptimize, ChromaticProblem, Pipeline, Result
-from .instances import Instance, ScalePreset
+from .instances import Instance
 
 # Symmetry detection depends only on (instance, K, SBP kind) — the
 # encodings are deterministic — so results are shared across solvers and

@@ -15,9 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..coloring.encoding import encode_coloring
 from ..coloring.exact_dsatur import exact_chromatic_number
-from ..graphs.cliques import clique_lower_bound
 from ..sbp.instance_independent import apply_sbp
-from ..sbp.lex_leader import add_symmetry_breaking_predicates
 from ..symmetry.detect import detect_symmetries
 from .instances import Instance, QUEENS_NAMES, ScalePreset, get_instance
 from .runner import CellResult, format_seconds, run_cell, run_one

@@ -9,7 +9,7 @@ style with a greedy-coloring bound) for small/medium graphs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import List, Optional, Sequence
 
 from .graph import Graph
 

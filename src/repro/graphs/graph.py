@@ -14,12 +14,12 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 class Graph:
     """Undirected simple graph on vertices ``0..n-1``."""
 
-    def __init__(self, num_vertices: int = 0, name: str = ""):
+    def __init__(self, num_vertices: int = 0, name: str = "") -> None:
         if num_vertices < 0:
             raise ValueError("vertex count cannot be negative")
         self._adj: List[Set[int]] = [set() for _ in range(num_vertices)]
-        self._num_edges = 0
-        self.name = name
+        self._num_edges: int = 0
+        self.name: str = name
 
     # ------------------------------------------------------------ building
     @classmethod
@@ -156,7 +156,7 @@ class Graph:
         label = f" {self.name!r}" if self.name else ""
         return f"Graph({label} |V|={self.num_vertices}, |E|={self.num_edges})"
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Graph)
             and self.num_vertices == other.num_vertices

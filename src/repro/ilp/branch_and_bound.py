@@ -13,7 +13,7 @@ no cutting-plane benefit).
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
@@ -86,8 +86,14 @@ class BranchAndBoundSolver:
         self,
         formula: Formula,
         time_limit: Optional[float] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> OptimizeResult:
-        """Minimize/maximize the formula objective; prove optimality."""
+        """Minimize/maximize the formula objective; prove optimality.
+
+        ``should_stop`` is polled once per node, like the CDCL engine's
+        cancellation hook: when it returns True the incumbent (if any)
+        is returned as SAT, otherwise UNKNOWN.
+        """
         if formula.objective is None:
             raise ValueError("formula has no objective; use decide()")
         start = time.monotonic()
@@ -105,6 +111,9 @@ class BranchAndBoundSolver:
                 timed_out = True
                 break
             if self.node_limit is not None and self.nodes_explored >= self.node_limit:
+                timed_out = True
+                break
+            if should_stop is not None and should_stop():
                 timed_out = True
                 break
             lower, upper = stack.pop()
@@ -159,11 +168,12 @@ class BranchAndBoundSolver:
         self,
         formula: Formula,
         time_limit: Optional[float] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> SolveResult:
         """Feasibility check (no objective) via branch and bound."""
         probe = formula.copy()
         probe.set_objective([], sense="min")
-        result = self.optimize(probe, time_limit=time_limit)
+        result = self.optimize(probe, time_limit=time_limit, should_stop=should_stop)
         if result.status in (OPTIMAL, SAT):
             return SolveResult(SAT, model=result.best_model, stats=result.stats)
         return SolveResult(result.status, stats=result.stats)

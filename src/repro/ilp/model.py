@@ -9,7 +9,7 @@ literal ``-v`` contributes ``1 - x_v`` (folded into the bound).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

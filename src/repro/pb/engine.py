@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.formula import Formula
 from ..core.pbconstraint import LinearGE, normalize_terms
-from ..sat.cdcl import CDCLSolver, WClause
+from ..sat.cdcl import CDCLSolver
 from ..sat.result import SolveResult, UNSAT
 
 

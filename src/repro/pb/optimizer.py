@@ -29,6 +29,7 @@ from ..sat.result import OPTIMAL, OptimizeResult, SAT, UNKNOWN, UNSAT, SolverSta
 from .engine import PBSolver
 
 SolverFactory = Callable[[], PBSolver]
+ShouldStop = Callable[[], bool]
 
 
 def _objective_value(formula: Formula, model: Dict[int, bool]) -> int:
@@ -57,6 +58,7 @@ def minimize_linear(
     upper_bound_hint: Optional[int] = None,
     lower_bound: int = 0,
     incremental: bool = True,
+    should_stop: Optional[ShouldStop] = None,
 ) -> OptimizeResult:
     """Minimize the objective by descending linear search.
 
@@ -81,13 +83,20 @@ def minimize_linear(
     best_value: Optional[int] = None
     best_model: Optional[Dict[int, bool]] = None
     while True:
+        if should_stop is not None and should_stop():
+            status = SAT if best_value is not None else UNKNOWN
+            return OptimizeResult(status, best_value, best_model, stats)
         remaining = None
         if time_limit is not None:
             remaining = time_limit - (time.monotonic() - start)
             if remaining <= 0:
                 status = SAT if best_value is not None else UNKNOWN
                 return OptimizeResult(status, best_value, best_model, stats)
-        result = solver.solve(time_limit=remaining, conflict_limit=conflict_limit)
+        result = solver.solve(
+            time_limit=remaining,
+            conflict_limit=conflict_limit,
+            should_stop=should_stop,
+        )
         stats.merge(result.stats)
         if result.is_unsat:
             if best_value is None:
@@ -114,6 +123,7 @@ def minimize_binary(
     upper_bound_hint: Optional[int] = None,
     lower_bound: int = 0,
     incremental: bool = True,
+    should_stop: Optional[ShouldStop] = None,
 ) -> OptimizeResult:
     """Minimize the objective by bisection.
 
@@ -132,7 +142,7 @@ def minimize_binary(
     if incremental:
         return _minimize_binary_incremental(
             formula, solver_factory, time_limit, conflict_limit,
-            upper_bound_hint, lower_bound,
+            upper_bound_hint, lower_bound, should_stop,
         )
     start = time.monotonic()
     stats = SolverStats()
@@ -151,7 +161,13 @@ def minimize_binary(
             remaining = time_limit - (time.monotonic() - start)
             if remaining <= 0:
                 return UNKNOWN, None
-        result = solver.solve(time_limit=remaining, conflict_limit=conflict_limit)
+        if should_stop is not None and should_stop():
+            return UNKNOWN, None
+        result = solver.solve(
+            time_limit=remaining,
+            conflict_limit=conflict_limit,
+            should_stop=should_stop,
+        )
         stats.merge(result.stats)
         return result.status, result.model
 
@@ -189,6 +205,7 @@ def _minimize_binary_incremental(
     conflict_limit: Optional[int],
     upper_bound_hint: Optional[int],
     lower_bound: int,
+    should_stop: Optional[ShouldStop] = None,
 ) -> OptimizeResult:
     """Bisection on one persistent solver via selector-guarded bounds."""
     start = time.monotonic()
@@ -221,10 +238,13 @@ def _minimize_binary_incremental(
             remaining = time_limit - (time.monotonic() - start)
             if remaining <= 0:
                 return UNKNOWN, None
+        if should_stop is not None and should_stop():
+            return UNKNOWN, None
         result = solver.solve(
             assumptions=assumptions,
             time_limit=remaining,
             conflict_limit=conflict_limit,
+            should_stop=should_stop,
         )
         stats.merge(result.stats)
         if result.is_unsat and assumptions and not result.failed_assumptions:

@@ -22,7 +22,7 @@ performance and identical trends), not the proprietary internals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from ..core.formula import Formula
@@ -121,6 +121,7 @@ def solve_optimize(
     conflict_limit: Optional[int] = None,
     upper_bound_hint: Optional[int] = None,
     lower_bound: int = 0,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> OptimizeResult:
     """Minimize a formula's objective with a named preset."""
     config = get_preset(preset)
@@ -132,4 +133,5 @@ def solve_optimize(
         conflict_limit=conflict_limit,
         upper_bound_hint=upper_bound_hint,
         lower_bound=lower_bound,
+        should_stop=should_stop,
     )

@@ -2,6 +2,7 @@
 
 from .brute import brute_force_count, brute_force_optimize, brute_force_solve
 from .cdcl import CDCLSolver, WClause, solve_formula
+from .factory import new_solver, reset_solver_factory, set_solver_factory
 from .luby import luby, luby_sequence
 from .preprocessing import (
     PreprocessResult,
@@ -39,7 +40,10 @@ __all__ = [
     "brute_force_solve",
     "luby",
     "luby_sequence",
+    "new_solver",
     "preprocess",
+    "reset_solver_factory",
+    "set_solver_factory",
     "simplify_formula",
     "solve_formula",
     "subsume_clauses",

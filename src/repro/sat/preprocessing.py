@@ -36,7 +36,6 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..core.clause import Clause
 from ..core.formula import Formula
 from ..core.literals import var_of
 from ..core.pbconstraint import PBConstraint

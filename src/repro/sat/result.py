@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 SAT = "SAT"
 UNSAT = "UNSAT"
@@ -52,7 +52,7 @@ class SolveResult:
     status: str
     model: Optional[Dict[int, bool]] = None
     stats: SolverStats = field(default_factory=SolverStats)
-    failed_assumptions: Optional[list] = None
+    failed_assumptions: Optional[List[int]] = None
 
     @property
     def is_sat(self) -> bool:

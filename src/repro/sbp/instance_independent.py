@@ -25,7 +25,6 @@ re-verifies optimum preservation by brute force on small graphs).
 
 from __future__ import annotations
 
-from typing import Iterable, List
 
 from ..coloring.encoding import ColoringEncoding
 

@@ -101,7 +101,11 @@ def refine(
     part = partition.copy()
     cells = part.cells
     cell_of = part.cell_of
-    adj = [graph.neighbors(v) for v in range(graph.num_vertices)]
+    # Sorted adjacency: count accumulation below iterates these, and the
+    # resulting insertion order of ``counts``/``touched`` feeds fragment
+    # member order, hence the canonical form.  Raw adjacency sets would
+    # make that hash-seed dependent.
+    adj = [sorted(graph.neighbors(v)) for v in range(graph.num_vertices)]
 
     worklist: List[int] = list(active) if active is not None else list(range(len(cells)))
     queued = set(worklist)
@@ -118,7 +122,7 @@ def refine(
         # Group touched vertices by their cell; process cells in index
         # order so the refinement is deterministic.
         touched: Dict[int, List[int]] = defaultdict(list)
-        for v in counts:
+        for v in sorted(counts):  # pin member order by value, not history
             touched[cell_of[v]].append(v)
         for cell_index in sorted(touched):
             members = touched[cell_index]

@@ -1,0 +1,12 @@
+"""RPR004 negatives: frozen= passed, or non-incremental context."""
+
+from repro.sat.preprocessing import preprocess
+
+
+class IncrementalSearch:
+    def setup(self, formula, frozen_vars):
+        return preprocess(formula, frozen=frozen_vars)  # fine
+
+
+def one_shot(formula):
+    return preprocess(formula)  # fine: no persistent solver to betray

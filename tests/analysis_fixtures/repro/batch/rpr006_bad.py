@@ -1,0 +1,23 @@
+"""RPR006 positives: unpicklable payloads at the process-pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def launch(ctx, payload, pool):
+    proc = ctx.Process(target=lambda: payload.run())  # violation: lambda
+    proc.start()
+    pool.apply_async(lambda x: x + 1, (1,))  # violation: lambda
+
+    def helper():
+        return payload.run()
+
+    ctx.Process(target=helper).start()  # violation: closure
+
+
+def fan_out(items):
+    executor = ProcessPoolExecutor()
+
+    def work(item):
+        return item * 2
+
+    return [executor.submit(work, item) for item in items]  # violation

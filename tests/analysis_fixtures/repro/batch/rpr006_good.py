@@ -1,0 +1,22 @@
+"""RPR006 negatives: top-level payloads; thread pools may close over."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def _worker_entry(payload):
+    return payload
+
+
+def launch(ctx, payload):
+    # fine: module-level callable + picklable args
+    proc = ctx.Process(target=_worker_entry, args=(payload,))
+    proc.start()
+
+
+def fan_out(items, solver):
+    executor = ThreadPoolExecutor()
+
+    def work(item):
+        return solver.solve(item)  # closures are fine in-process
+
+    return [executor.submit(work, item) for item in items]

@@ -1,0 +1,7 @@
+"""RPR001 positive: raw clause-list mutation outside sat/."""
+
+
+def encode(formula, clause, other):
+    formula.clauses.append(clause)  # violation: bypasses add_clause
+    formula.clauses.extend(other)  # violation
+    formula.clauses = [clause]  # violation: wholesale replacement

@@ -1,0 +1,8 @@
+"""RPR001 negative: intake through add_clause, plus look-alikes."""
+
+
+def encode(formula, clause, items):
+    formula.add_clause(clause)  # the sanctioned intake path
+    items.append(clause)  # not a .clauses target
+    formula.colors.append(3)  # some other attribute list
+    return len(formula.clauses)  # reading is fine

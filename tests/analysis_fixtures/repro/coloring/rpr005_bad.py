@@ -1,0 +1,9 @@
+"""RPR005 positive: direct engine construction outside the chokepoints."""
+
+from repro.sat.cdcl import CDCLSolver
+
+
+def fresh_probe(formula):
+    solver = CDCLSolver(num_vars=formula.num_vars)  # violation
+    solver.add_formula(formula)
+    return solver.solve()

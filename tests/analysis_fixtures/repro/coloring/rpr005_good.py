@@ -1,0 +1,9 @@
+"""RPR005 negative: construction through the swappable factory."""
+
+from repro.sat.factory import new_solver
+
+
+def fresh_probe(formula):
+    solver = new_solver(num_vars=formula.num_vars)  # the sanctioned path
+    solver.add_formula(formula)
+    return solver.solve()

@@ -1,0 +1,6 @@
+"""A reasonless suppression is itself an error (RPR000) and does not
+silence the underlying finding."""
+
+
+def encode(formula, clause):
+    formula.clauses.append(clause)  # repro: allow[RPR001]

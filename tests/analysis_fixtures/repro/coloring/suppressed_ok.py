@@ -1,0 +1,8 @@
+"""Suppression fixtures: reasoned allows silence their findings."""
+
+
+def encode(formula, clause):
+    formula.clauses.append(clause)  # repro: allow[RPR001] migration shim until PR 7 rewires intake
+    # repro: allow[RPR001] second shim, standalone-comment form
+    formula.clauses.extend([clause])
+    formula.add_clause(clause)

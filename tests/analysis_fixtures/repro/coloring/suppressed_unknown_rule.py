@@ -1,0 +1,5 @@
+"""Naming an unknown rule in a suppression is an RPR000 error."""
+
+
+def encode(formula, clause):
+    formula.add_clause(clause)  # repro: allow[RPR999] no such rule exists

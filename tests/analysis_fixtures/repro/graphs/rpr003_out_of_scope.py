@@ -1,0 +1,5 @@
+"""RPR003 negative by scope: graphs/ is not solver-decision code."""
+
+
+def collect(vertices: set):
+    return [v for v in vertices]  # not flagged: outside the rule's scope

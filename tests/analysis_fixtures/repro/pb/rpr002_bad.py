@@ -1,0 +1,10 @@
+"""RPR002 positive: unbounded solve loop without a stop poll."""
+
+
+def minimize_bound(solver, formula):
+    best = None
+    while True:  # violation: no should_stop/cancel anywhere in the loop
+        result = solver.run(formula)
+        if result.is_unsat:
+            return best
+        best = result.value

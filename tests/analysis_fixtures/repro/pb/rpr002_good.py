@@ -1,0 +1,19 @@
+"""RPR002 negatives: polled loop; unbounded loop outside solve paths."""
+
+
+def minimize_bound(solver, formula, should_stop=None):
+    best = None
+    while True:  # fine: the loop polls should_stop
+        if should_stop is not None and should_stop():
+            return best
+        result = solver.run(formula)
+        if result.is_unsat:
+            return best
+        best = result.value
+
+
+def drain_queue(queue):
+    while True:  # fine: not a solve-path function name
+        item = queue.get()
+        if item is None:
+            return

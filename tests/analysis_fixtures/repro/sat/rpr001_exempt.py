@@ -1,0 +1,9 @@
+"""RPR001 negative by scope: sat/ owns the clause list."""
+
+
+class Engine:
+    def __init__(self):
+        self.clauses = []
+
+    def add_clause(self, clause):
+        self.clauses.append(clause)  # allowed here: this IS the chokepoint

@@ -1,0 +1,7 @@
+"""RPR005 negative by scope: sat/ may of course build its own engine."""
+
+from .cdcl import CDCLSolver
+
+
+def make_engine(num_vars):
+    return CDCLSolver(num_vars=num_vars)  # allowed inside sat/

@@ -1,0 +1,19 @@
+"""RPR003 positives: order-sensitive iteration, shared RNG, wall clock."""
+
+import random
+import time
+
+
+def walk(graph, vertices: set):
+    for v in vertices:  # violation: set iteration into decisions
+        graph.visit(v)
+    for w in graph.neighbors(0):  # violation: set-returning method
+        graph.visit(w)
+    order = [v for v in vertices]  # violation: list comp over a set
+    first = list(graph.neighbors(1))  # violation: list() conversion
+    key = {}
+    for k in key.keys():  # violation: insertion-ordered key iteration
+        graph.visit(k)
+    jitter = random.random()  # violation: shared unseeded RNG
+    now = time.time()  # violation: wall clock
+    return order, first, jitter, now

@@ -1,0 +1,17 @@
+"""RPR003 negatives: sorted iteration and order-insensitive consumption."""
+
+import random
+import time
+
+
+def walk(graph, vertices: set, items):
+    for v in sorted(vertices):  # sorted at the iteration site
+        graph.visit(v)
+    for w in items:  # unknown type: not flagged
+        graph.visit(w)
+    total = sum(v for v in vertices)  # order-insensitive consumer
+    biggest = max(vertices)  # order-insensitive consumer
+    mirror = {v for v in vertices}  # set-to-set: no order leak
+    rng = random.Random(42)  # seeded instance is fine
+    deadline = time.monotonic()  # monotonic clock is fine
+    return total, biggest, mirror, rng.random(), deadline

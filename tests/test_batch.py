@@ -21,8 +21,8 @@ from repro.batch import (
     load_manifest,
     solve_many,
 )
-from repro.experiments.runner import run_cell
 from repro.experiments.instances import get_instance
+from repro.experiments.runner import run_cell
 from repro.graphs.dimacs import write_dimacs_graph
 from repro.graphs.generators import mycielski_graph, queens_graph
 

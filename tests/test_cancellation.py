@@ -20,9 +20,9 @@ from repro.api import (
     Pipeline,
     Session,
 )
+from repro.core.formula import Formula
 from repro.graphs.generators import mycielski_graph, queens_graph
 from repro.sat.cdcl import CDCLSolver
-from repro.core.formula import Formula
 
 
 class FlipAfter:
@@ -196,3 +196,53 @@ def test_cancel_cannot_revoke_a_bounds_proved_optimum():
     assert result.status == "OPTIMAL"
     assert result.num_colors == 5
     assert result.queries == []
+
+
+def test_pb_minimize_linear_should_stop_interrupts_descent():
+    """The PB bound-tightening loop must poll should_stop both between
+    probes and inside each solve (the RPR002 invariant, extended to the
+    optimizer in the static-analysis PR)."""
+    from repro.pb.optimizer import minimize_linear
+
+    f = _pigeonhole(7, 7)  # SAT, but a costly minimum
+    f.set_objective([(1, v) for v in range(1, 8)])
+    polls = FlipAfter(0)  # cancel at the very first loop-top poll
+    result = minimize_linear(f, should_stop=polls)
+    assert result.status == "UNKNOWN"
+    assert polls.remaining < 0  # the predicate really was consulted
+
+
+def test_pb_minimize_binary_should_stop_interrupts_bisection():
+    from repro.pb.optimizer import minimize_binary
+
+    f = _pigeonhole(7, 7)
+    f.set_objective([(1, v) for v in range(1, 8)])
+    for incremental in (True, False):
+        polls = FlipAfter(0)  # cancel before the feasibility probe solves
+        result = minimize_binary(f, incremental=incremental, should_stop=polls)
+        assert result.status == "UNKNOWN"
+        assert polls.remaining < 0
+
+
+def test_pipeline_pb_backend_cancel_interrupts_minimize():
+    # The PB backends now thread ctx.cancel into the optimizer: a
+    # cancel that fires mid-minimize must come back as best-so-far.
+    start = time.monotonic()
+    cancel = lambda: time.monotonic() - start > 0.5  # noqa: E731
+    result = (Pipeline()
+              .solve(backend="pb-pbs2")  # no time limit on purpose
+              .run(BudgetedOptimize(queens_graph(6, 6), 8), cancel=cancel))
+    elapsed = time.monotonic() - start
+    assert result.cancelled or result.solved
+    assert elapsed < 30, f"in-query cancellation took {elapsed:.1f}s"
+
+
+def test_bb_optimize_should_stop_interrupts_search():
+    from repro.ilp.branch_and_bound import BranchAndBoundSolver
+
+    f = _pigeonhole(6, 6)
+    f.set_objective([(1, v) for v in range(1, 7)])
+    polls = FlipAfter(0)  # cancel at the first node poll
+    result = BranchAndBoundSolver().optimize(f, should_stop=polls)
+    assert result.status == "UNKNOWN"
+    assert polls.remaining < 0

@@ -1,6 +1,5 @@
 """CDCL solver tests: units, assumptions, and fuzz vs brute force."""
 
-import random
 
 import pytest
 from hypothesis import given, settings
@@ -10,7 +9,6 @@ from repro.core.formula import Formula
 from repro.sat.brute import brute_force_solve
 from repro.sat.cdcl import CDCLSolver, solve_formula
 from repro.sat.luby import luby
-from repro.sat.result import SAT, UNSAT
 
 
 def test_trivial_sat():

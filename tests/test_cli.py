@@ -1,6 +1,5 @@
 """CLI tests (python -m repro and python -m repro.experiments)."""
 
-import io
 import subprocess
 import sys
 

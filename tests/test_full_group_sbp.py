@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.formula import Formula
 from repro.core.literals import lit_index
-from repro.sat.brute import brute_force_count, brute_force_solve
+from repro.sat.brute import brute_force_solve
 from repro.sbp.lex_leader import add_full_group_sbps, add_symmetry_breaking_predicates
 from repro.symmetry.detect import detect_symmetries
 from repro.symmetry.permutation import Permutation

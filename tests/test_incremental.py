@@ -35,7 +35,7 @@ from repro.graphs.generators import (
 )
 from repro.graphs.graph import Graph
 from repro.pb.engine import PBSolver
-from repro.sat.cdcl import CDCLSolver, solve_formula
+from repro.sat.cdcl import CDCLSolver
 from repro.sat.result import SAT, UNSAT
 
 
@@ -324,13 +324,11 @@ def test_carry_heuristics_descent_agrees():
     g = queens_graph(6, 6)
     search = IncrementalKSearch(g, 9)
     expected = {8: SAT, 7: SAT}
-    prev = None
     for k in (8, 7):
         status, coloring, _ = search.solve_k(k, carry_heuristics=True)
         assert status == expected[k]
         assert is_proper(g, coloring)
         assert len(set(coloring.values())) <= k
-        prev = coloring
     # A vertex whose color was dropped had its phases neutralized, not
     # its answer: the next query still finds a proper coloring.
     status, coloring, _ = search.solve_k(7, carry_heuristics=True)

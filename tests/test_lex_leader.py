@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.formula import Formula
-from repro.core.literals import index_lit, lit_index
+from repro.core.literals import lit_index
 from repro.sat.brute import brute_force_count, brute_force_solve
 from repro.sbp.lex_leader import (
     add_lex_leader_sbp,

@@ -9,11 +9,11 @@ import pytest
 from repro.coloring.sat_pipeline import IncrementalKSearch
 from repro.core.formula import Formula
 from repro.graphs.generators import mycielski_graph, queens_graph
+from repro.sat.brute import brute_force_solve
 from repro.sat.cdcl import CDCLSolver, solve_formula
 from repro.sat.preprocessing import preprocess
 from repro.sat.result import SAT, UNSAT
 from repro.sat.vsids import VSIDS
-from repro.sat.brute import brute_force_solve
 
 
 def _random_cnf(seed, n, m, width=3):
