@@ -8,7 +8,9 @@
 # `make bench-check` regenerates the counter-bearing records and fails
 # on regressions vs the committed baselines (the CI perf gate);
 # `make batch-smoke` runs the example manifest through the parallel
-# fleet runner; `make coverage` runs the tier-1 suite under pytest-cov
+# fleet runner; `make chaos-smoke` runs the resilience chaos suite
+# (fault injection seeded by CHAOS_SEED, fresh seeds in nightly CI);
+# `make coverage` runs the tier-1 suite under pytest-cov
 # with the CI coverage floor; `make lint` runs ruff; `make analyze`
 # runs the solver-invariant static checker (repro.analysis — pure
 # stdlib, always available); `make typecheck` runs the typed-core mypy
@@ -24,9 +26,12 @@ COV_FLOOR ?= 84
 # Hypothesis profile for the differential fuzz harness: "ci" is seeded/
 # deterministic (PR runs), "nightly" explores fresh seeds (scheduled CI).
 HYPOTHESIS_PROFILE ?= ci
+# Seed for the chaos-smoke fault-injection scenario: PR CI pins 0,
+# nightly CI passes a fresh seed (`make chaos-smoke CHAOS_SEED=$RANDOM`).
+CHAOS_SEED ?= 0
 
 .PHONY: test lint analyze typecheck bench-smoke bench bench-json \
-	bench-check batch-smoke coverage fuzz-smoke
+	bench-check batch-smoke coverage fuzz-smoke chaos-smoke
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -34,6 +39,10 @@ test:
 fuzz-smoke:
 	$(PYTHONPATH_PREFIX) HYPOTHESIS_PROFILE=$(HYPOTHESIS_PROFILE) \
 		$(PYTHON) -m pytest -q tests/test_component_pool.py
+
+chaos-smoke:
+	$(PYTHONPATH_PREFIX) CHAOS_SEED=$(CHAOS_SEED) \
+		$(PYTHON) -m pytest -q tests/test_resilience.py
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

@@ -20,6 +20,7 @@ import pytest
 
 from repro.api import ChromaticProblem, Pipeline
 from repro.coloring.sat_pipeline import encode_k_coloring_cnf
+from repro.graphs.generators import book_graph, interference_graph
 from repro.sat.preprocessing import preprocess, subsume_clauses
 
 

@@ -11,6 +11,7 @@ per-query loop, on multi-K queens/mycielski descents.  Results land in
 
 from repro.api import ChromaticProblem, Pipeline
 from repro.coloring.encoding import encode_coloring
+from repro.coloring.verify import is_proper
 from repro.core.formula import Formula
 from repro.experiments.instances import get_instance
 from repro.experiments.runner import run_descent
@@ -236,4 +237,31 @@ def test_incremental_descent_stays_incremental(bench_json):
         solvers_created=result.solvers_created,
         conflicts=result.stats.conflicts,
         k_queries=[list(q) for q in result.queries],
+    )
+
+
+def test_budgeted_descent_degrades_verifiably(bench_json):
+    """Anytime-degradation guard: an expired budget returns work, not None.
+
+    A descent whose budget expires immediately must still come back
+    ``FEASIBLE``/``degraded`` with the *verified* greedy coloring as its
+    upper bound — the resilience layer's contract (docs/resilience.md).
+    The greedy bound at a fixed input is deterministic, so the bench
+    gate pins it: a regression that loses the best-so-far coloring (or
+    lets the bound drift) fails ``make bench-check``.
+    """
+    graph = mycielski_graph(4)
+    result = (
+        Pipeline()
+        .solve(backend="cdcl-incremental", strategy="linear", time_limit=1e-9)
+        .run(ChromaticProblem(graph))
+    )
+    assert result.status == "FEASIBLE" and result.degraded
+    assert result.coloring is not None and is_proper(graph, result.coloring)
+    assert result.num_colors == result.upper_bound == 5
+    bench_json.add(
+        "descent-budgeted-myciel4",
+        num_colors=result.num_colors,
+        upper_bound=result.upper_bound,
+        degraded=int(result.degraded),
     )

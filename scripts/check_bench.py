@@ -75,6 +75,12 @@ GATES = [
     # CDCL search quality on the classic refutation fixture.
     ("solver_micro", {"instance": "pigeonhole-7-6"},
      "conflicts", "max", 0.25),
+    # Anytime degradation: an instantly-expired budget still yields the
+    # verified greedy bound (deterministic at a fixed input).
+    ("solver_micro", {"instance": "descent-budgeted-myciel4"},
+     "num_colors", "eq", 0.0),
+    ("solver_micro", {"instance": "descent-budgeted-myciel4"},
+     "degraded", "eq", 0.0),
     # Preprocessing counters are exact at fixed inputs.
     ("preprocessing", {"instance": "preprocess-book-encoding"},
      "units", "eq", 0.0),

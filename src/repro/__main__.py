@@ -13,6 +13,7 @@ Usage::
     python -m repro backends
     python -m repro batch manifest.json [--jobs 4] [--task-timeout 30]
         [--fallback exact-dsatur] [--out results.jsonl]
+        [--resume results.jsonl]
 
 Every solving command runs through :mod:`repro.api`: the arguments
 build a :class:`~repro.api.Pipeline` (stage configs + backend name)
@@ -170,6 +171,7 @@ def cmd_batch(args) -> int:
     import json
 
     from .batch import BatchRunner, load_manifest, load_plugins
+    from .resilience import read_wal
 
     load_plugins(args.plugin)
     manifest = load_manifest(args.manifest)
@@ -177,6 +179,21 @@ def cmd_batch(args) -> int:
         print(f"manifest {args.manifest} contains no tasks", file=sys.stderr)
         return 2
     fallback = [name for spec in args.fallback for name in spec.split(",") if name]
+
+    resume_records = []
+    if args.resume is not None:
+        # Read the write-ahead log BEFORE (re)opening --out for write:
+        # resuming in place (--resume out.jsonl --out out.jsonl) is the
+        # normal crash-recovery invocation.
+        records, dropped = read_wal(args.resume)
+        resume_records = [r for r in records if "summary" not in r]
+        if not args.quiet:
+            note = f" ({dropped} torn/corrupt line(s) dropped)" if dropped else ""
+            print(
+                f"resuming from {args.resume}: "
+                f"{len(resume_records)} completed record(s){note}",
+                file=sys.stderr,
+            )
 
     def progress(record) -> None:
         if args.quiet:
@@ -203,6 +220,7 @@ def cmd_batch(args) -> int:
             plugins=tuple(args.plugin) + manifest.plugins,
             on_record=progress,
             jsonl=jsonl,
+            resume_records=resume_records,
         )
         report = runner.run()
         print(json.dumps(report.summary, sort_keys=True), file=sys.stderr)
@@ -329,6 +347,11 @@ def main(argv=None) -> int:
     p_batch.add_argument("--out", default="-",
                          help="JSONL output path ('-' = stdout; the summary "
                               "always also goes to stderr)")
+    p_batch.add_argument("--resume", default=None, metavar="JSONL",
+                         help="treat JSONL as the write-ahead log of an "
+                              "interrupted run: completed tasks are replayed "
+                              "byte-identically, a torn tail line is dropped, "
+                              "and only the remaining tasks are solved")
     p_batch.add_argument("--plugin", action="append", default=[],
                          help="module name or .py path imported in every "
                               "worker (e.g. to register custom backends)")

@@ -19,6 +19,10 @@ RPR005   ``CDCLSolver`` is constructed only in ``sat/`` and the backend
          can swap in without call-site changes
 RPR006   worker payloads crossing the ``repro.batch`` process-pool
          boundary must be top-level picklables (no lambdas / closures)
+RPR007   deadline arithmetic must go through ``repro.resilience.Deadline``
+         — raw ``time.time()``/``time.monotonic()`` expiry checks outside
+         ``resilience/`` re-open the drift/clamping bugs PR 7 unified
+         (elapsed-time *measurement* stays allowed)
 =======  ==================================================================
 """
 
@@ -57,7 +61,7 @@ def _call_name(node: ast.Call) -> str:
     return ""
 
 
-def _describe(node: ast.expr) -> str:
+def _describe(node: ast.AST) -> str:
     try:
         return ast.unparse(node)
     except Exception:  # pragma: no cover - unparse is total on 3.9+
@@ -511,3 +515,88 @@ class PoolBoundaryRule(Rule):
                         "not pickle — hoist it to module level and pass "
                         "state explicitly",
                     )
+
+
+# --------------------------------------------------------------------------
+# RPR007 — deadline arithmetic
+# --------------------------------------------------------------------------
+
+#: Statement text that marks a clock expression as *deadline* arithmetic
+#: rather than elapsed-time measurement (`seconds = monotonic() - t0`).
+_DEADLINE_WORD_RE = re.compile(
+    r"time_limit|deadline|timeout|budget|kill_at|remaining|expir", re.IGNORECASE
+)
+
+
+@register_rule
+class DeadlineArithmeticRule(Rule):
+    """Every stage that hand-rolls ``time.monotonic()`` expiry checks
+    reinvents — and subtly diverges on — the same three decisions:
+    what ``None`` means, whether a negative remainder clamps to zero,
+    and whose clock is consulted (the fault harness can only skew the
+    :mod:`repro.resilience` clock seam).  PR 7 unified them behind
+    ``Deadline``; raw deadline arithmetic outside ``resilience/``
+    re-opens the divergence.  Pure elapsed-time *measurement*
+    (``seconds = time.monotonic() - t0``) is deliberately allowed."""
+
+    rule_id = "RPR007"
+    title = "deadline arithmetic must go through resilience.Deadline"
+    rationale = (
+        "PR 7 unified expiry semantics (None = unbounded, clamped "
+        "remaining, skewable clock seam) in repro.resilience.Deadline; "
+        "hand-rolled monotonic() comparisons drift from them and are "
+        "invisible to the fault-injection clock"
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        # The Deadline implementation itself is the one place allowed
+        # to touch the raw clock.
+        return not rel.startswith("resilience/")
+
+    def _is_clock_call(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("time", "monotonic")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time"
+        )
+
+    def check(self, source: SourceFile, resolver: ScopeResolver) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not self._is_clock_call(node):
+                continue
+            in_compare = False
+            in_binop = False
+            stmt: Optional[ast.stmt] = None
+            current = source.parent(node)
+            while current is not None:
+                if isinstance(current, ast.Compare):
+                    in_compare = True
+                elif isinstance(current, ast.BinOp):
+                    in_binop = True
+                if isinstance(current, ast.stmt):
+                    stmt = current
+                    break
+                current = source.parent(current)
+            clock = _describe(node)
+            if in_compare:
+                yield source.finding(
+                    self.rule_id,
+                    node,
+                    f"`{clock}` compared against a bound is hand-rolled "
+                    "deadline arithmetic; build a "
+                    "repro.resilience.Deadline and poll "
+                    "`deadline.expired()` instead",
+                )
+            elif in_binop and stmt is not None and _DEADLINE_WORD_RE.search(
+                _describe(stmt)
+            ):
+                yield source.finding(
+                    self.rule_id,
+                    node,
+                    f"`{clock}` feeds budget/deadline arithmetic; use "
+                    "repro.resilience.Deadline (`after`/`remaining`/"
+                    "`child`) so expiry semantics and the fault-harness "
+                    "clock seam stay unified",
+                )

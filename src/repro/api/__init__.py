@@ -18,6 +18,11 @@ One import gives the four concepts every workload composes from:
 * **ComponentSessionPool** — kernelization composed with persistence:
   one persistent Session per kernel component, scheduled largest-first,
   recombined with per-component provenance.
+* **Resilience** — :class:`Deadline` (one budget object threaded
+  through every stage; expiry degrades to a verified ``FEASIBLE``
+  best-so-far instead of discarding work) and :class:`RetryPolicy`
+  (bounded, deterministic retry for the batch runner).  Re-exported
+  from :mod:`repro.resilience`; see ``docs/resilience.md``.
 
 Quickstart::
 
@@ -41,6 +46,7 @@ Multi-query session (one persistent solver, budget raised in place)::
         session.decide(7)          # still the same solver
 """
 
+from ..resilience import Budget, Deadline, RetryPolicy
 from .backends import (
     Backend,
     available_backends,
@@ -91,11 +97,13 @@ def __getattr__(name):
 
 __all__ = [
     "Backend",
+    "Budget",
     "BudgetedOptimize",
     "ChromaticProblem",
     "ComponentSessionPool",
     "ComponentTrace",
     "DEFAULT_STAGE_ORDER",
+    "Deadline",
     "DecisionProblem",
     "EncodeConfig",
     "PROBLEM_KINDS",
@@ -106,6 +114,7 @@ __all__ = [
     "Provenance",
     "ReduceConfig",
     "Result",
+    "RetryPolicy",
     "RunContext",
     "SHATTER_STAGE_ORDER",
     "Session",

@@ -116,6 +116,28 @@ class SolveConfig:
 
 
 @dataclass(frozen=True)
+class BudgetConfig:
+    """How the run's time budget is divided across pipeline stages.
+
+    ``prep_fraction`` caps the *optional* preparation stages (sbp,
+    simplify, detect) at that fraction of the total budget: once the
+    prep sub-deadline expires, remaining optional stages are skipped —
+    they only speed the solver up, so on a tight budget the time is
+    better spent solving.  The mandatory stages (reduce, encode, solve)
+    always run against the run's own deadline.  With no time limit
+    configured the budget is unbounded and no stage is ever skipped.
+    """
+
+    prep_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prep_fraction <= 1.0:
+            raise ValueError(
+                f"prep_fraction must be in [0, 1], got {self.prep_fraction}"
+            )
+
+
+@dataclass(frozen=True)
 class PipelineConfig:
     """The full pipeline: one config per stage plus the stage order."""
 
@@ -124,6 +146,7 @@ class PipelineConfig:
     symmetry: SymmetryConfig = field(default_factory=SymmetryConfig)
     simplify: SimplifyConfig = field(default_factory=SimplifyConfig)
     solve: SolveConfig = field(default_factory=SolveConfig)
+    budget: BudgetConfig = field(default_factory=BudgetConfig)
     order: Tuple[str, ...] = DEFAULT_STAGE_ORDER
 
     def __post_init__(self) -> None:
@@ -164,5 +187,6 @@ class PipelineConfig:
             "use_bounds": self.solve.use_bounds,
             "split_components": self.solve.split_components,
             "pool_threads": self.solve.pool_threads,
+            "prep_fraction": self.budget.prep_fraction,
             "order": self.order,
         }

@@ -34,8 +34,9 @@ from ..graphs.analysis import connected_components
 from ..graphs.cliques import clique_lower_bound
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
+from ..resilience import Deadline
 from ..sat.preprocessing import SimplifyStats, simplify_formula
-from ..sat.result import OPTIMAL, SAT, UNKNOWN, UNSAT
+from ..sat.result import FEASIBLE, OPTIMAL, SAT, UNKNOWN, UNSAT
 from ..sbp.lex_leader import add_symmetry_breaking_predicates
 from ..symmetry.detect import SymmetryReport, detect_symmetries
 from .config import (
@@ -90,6 +91,11 @@ class Pipeline:
         ``use_bounds``)."""
         return self._replace(solve=replace(self._config.solve, **kwargs))
 
+    def budget(self, **kwargs: object) -> "Pipeline":
+        """Configure the stage budget split (``prep_fraction=...``)."""
+        current = self._config.budget
+        return self._replace(budget=replace(current, **kwargs))
+
     def stage_order(self, *order: str) -> "Pipeline":
         """Reorder the stages (validated; see ``PipelineConfig``)."""
         return self._replace(order=tuple(order))
@@ -114,10 +120,21 @@ class Pipeline:
         backend = get_backend(self._config.solve.backend)
         backend.validate(problem, self._config)
         ctx = RunContext(
-            on_progress=on_progress, cancel=cancel, detection_cache=detection_cache
+            on_progress=on_progress,
+            cancel=cancel,
+            detection_cache=detection_cache,
+            deadline=Deadline.after(self._config.solve.time_limit),
         )
         ctx.emit("pipeline", f"{problem.kind} on backend {backend.name}")
         result = backend.run(problem, self._config, ctx)
+        if problem.kind != DECISION and result.status in (SAT, FEASIBLE):
+            # The optimization run produced a verified coloring but no
+            # optimality proof: budget ran out (or the caller cancelled)
+            # mid-descent.  Degrade, don't discard.
+            result.status = FEASIBLE
+            result.degraded = True
+            if result.upper_bound is None:
+                result.upper_bound = result.num_colors
         result.provenance = Provenance(
             problem=problem.kind,
             backend=backend.name,
@@ -195,6 +212,11 @@ def run_optimize_flow(
     """
     if budget <= 0:
         return _infeasible_budget(graph, budget, config)
+    if not ctx.deadline.bounded and config.solve.time_limit is not None:
+        # Entered outside Pipeline.run (a backend called directly):
+        # seed the run deadline from the configured limit so the whole
+        # flow — all components, all stages — shares one budget.
+        ctx = replace(ctx, deadline=Deadline.after(config.solve.time_limit))
     if config.reduce.enabled:
         return _run_reduced(graph, budget, config, ctx, engine, decision)
     return _run_formula_stages(graph, budget, config, ctx, engine, decision)
@@ -248,21 +270,16 @@ def _run_reduced(
     )
     stages: List[StageStat] = [reduce_stage]
     sub_config = config.with_stage(reduce=ReduceConfig(enabled=False))
-    time_limit = config.solve.time_limit
 
     merged = Result(status=OPTIMAL, stages=stages, pipeline=info)
     kernel_coloring: Dict[int, int] = {}
     for component in components:
         if ctx.cancelled():
             return _cancelled_result(stages, info)
-        remaining_cfg = sub_config
-        if time_limit is not None:
-            remaining = max(0.0, time_limit - (time.monotonic() - start))
-            remaining_cfg = sub_config.with_stage(
-                solve=replace(sub_config.solve, time_limit=remaining)
-            )
+        # Components share the run's deadline sequentially: each one
+        # sees whatever budget its predecessors left.
         sub = kernel.graph.subgraph(component)
-        result = _run_formula_stages(sub, budget, remaining_cfg, ctx, engine, decision)
+        result = _run_formula_stages(sub, budget, sub_config, ctx, engine, decision)
         _merge_stage_times(stages, result.stages)
         merged.stats.merge(result.stats)
         merged.solvers_created += result.solvers_created
@@ -287,6 +304,11 @@ def _run_reduced(
         merged.status = SAT
     merged.num_colors = len(set(coloring.values()))
     merged.coloring = coloring
+    if not decision:
+        merged.upper_bound = merged.num_colors
+        merged.lower_bound = (
+            merged.num_colors if merged.status == OPTIMAL else max(lb, 1)
+        )
     return merged
 
 
@@ -319,6 +341,18 @@ def _run_formula_stages(
         kernel_vertices=graph.num_vertices,
     )
     sym = config.symmetry
+    deadline = ctx.deadline
+    if not deadline.bounded and config.solve.time_limit is not None:
+        deadline = Deadline.after(config.solve.time_limit)
+    # The optional preparation stages (sbp / simplify / detect) get at
+    # most prep_fraction of what's left; past that they are skipped —
+    # they only help the solver, and a tight budget is better spent
+    # solving.
+    budget_left = deadline.remaining()
+    prep_deadline = deadline.child(
+        None if budget_left is None
+        else budget_left * config.budget.prep_fraction
+    )
 
     t0 = time.monotonic()
     ctx.emit("encode", f"encoding {budget}-coloring as 0-1 ILP")
@@ -339,6 +373,10 @@ def _run_formula_stages(
     for stage_name in config.formula_stages():
         if ctx.cancelled():
             return _cancelled_result(stages, info)
+        if prep_deadline.expired():
+            ctx.emit(stage_name, "skipped: preparation budget exhausted")
+            stages.append(StageStat(stage_name, 0.0, {"skipped": "budget"}))
+            continue
         t0 = time.monotonic()
         if stage_name == "sbp":
             if sym.sbp_kind != "none":
@@ -413,7 +451,7 @@ def _run_formula_stages(
     cancel_hook = ctx.cancelled if ctx.cancel else None
     if decision:
         solve_result = engine.decide(
-            formula, solve_cfg.time_limit, solve_cfg.conflict_limit,
+            formula, deadline.remaining(), solve_cfg.conflict_limit,
             should_stop=cancel_hook,
         )
         seconds = time.monotonic() - t0
@@ -426,7 +464,7 @@ def _run_formula_stages(
         return packaged
     opt_result = engine.minimize(
         formula,
-        solve_cfg.time_limit,
+        deadline.remaining(),
         solve_cfg.conflict_limit,
         upper,
         lower,
@@ -436,6 +474,11 @@ def _run_formula_stages(
     seconds = time.monotonic() - t0
     stages.append(StageStat("solve", seconds, {"status": opt_result.status}))
     packaged = _package_optimize(encoding, opt_result, stages, info, detection)
+    packaged.upper_bound = packaged.num_colors
+    if packaged.status == OPTIMAL:
+        packaged.lower_bound = packaged.num_colors
+    elif lower > 0:
+        packaged.lower_bound = lower
     # A stop that fired inside the minimize loop surfaces as a
     # best-so-far SAT/UNKNOWN; stamp it so callers can tell a cancelled
     # descent from a naturally unproved one.

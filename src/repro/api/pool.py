@@ -37,10 +37,16 @@ from ..coloring.solve import PipelineInfo
 from ..coloring.verify import check_proper
 from ..graphs.cliques import clique_lower_bound
 from ..graphs.graph import Graph
-from ..sat.result import OPTIMAL, SAT, UNKNOWN, UNSAT, SolverStats
+from ..resilience import Deadline
+from ..sat.result import FEASIBLE, OPTIMAL, SAT, UNKNOWN, UNSAT, SolverStats
 from .config import PipelineConfig
 from .results import ComponentTrace, ProgressEvent, Result, RunContext, StageStat
 from .session import Session
+
+
+#: Minimum fraction of the pool's remaining budget any one component's
+#: descent receives, however small the component (the "floor slice").
+_POOL_FLOOR = 0.1
 
 
 def _kernelize(graph: Graph):
@@ -211,12 +217,13 @@ class ComponentSessionPool:
                 pipeline=info,
             )
 
-        def remaining() -> Optional[float]:
-            if time_limit is None:
-                return None
-            return max(0.0, time_limit - (time.monotonic() - t0))
+        deadline = Deadline.after(time_limit)
+        # Budget split: weighted by component size (descent cost scales
+        # with vertices), floored so a tiny component still gets a
+        # searchable slice instead of being starved by a giant sibling.
+        weights = [float(sub.num_vertices) for sub in self._subgraphs]
 
-        def solve_component(index: int) -> Result:
+        def solve_component(index: int, limit: Optional[float]) -> Result:
             self._ctx.emit(
                 "pool",
                 f"[component {index}] descent on "
@@ -224,7 +231,7 @@ class ComponentSessionPool:
             )
             return self.sessions[index].chromatic(
                 strategy=strategy,
-                time_limit=remaining(),
+                time_limit=limit,
                 max_colors=max_colors,
                 # Colors below the global clique bound cannot change the
                 # recombined max — no component descends past it.
@@ -238,14 +245,30 @@ class ComponentSessionPool:
         if self.threads > 1 and len(self.components) > 1:
             from concurrent.futures import ThreadPoolExecutor
 
+            # Concurrent components split the remaining budget upfront;
+            # each child deadline is clamped by the pool's own.
+            children = deadline.split(weights, floor_fraction=_POOL_FLOOR)
             with ThreadPoolExecutor(
                 max_workers=min(self.threads, len(self.components))
             ) as executor:
-                results = list(executor.map(solve_component, indices))
+                results = list(
+                    executor.map(
+                        lambda i: solve_component(i, children[i].remaining()),
+                        indices,
+                    )
+                )
         else:
             results = []
             for index in indices:
-                result = solve_component(index)
+                # Sequential weighted allotment, recomputed against the
+                # still-unsolved components' total weight: budget a fast
+                # component left unused flows to the ones after it.
+                limit = deadline.share(
+                    weights[index],
+                    sum(weights[index:]),
+                    floor_fraction=_POOL_FLOOR,
+                )
+                result = solve_component(index, limit)
                 results.append(result)
                 if result.status == UNSAT:
                     # Definitive: one component over the cap settles the
@@ -264,6 +287,7 @@ class ComponentSessionPool:
     ) -> Result:
         merged = Result(status=OPTIMAL, stages=[reduce_stage], pipeline=info)
         kernel_coloring: Dict[int, int] = {}
+        proved_lb = self.clique_bound
         for index, result in enumerate(results):
             call_stats = _stats_delta(result.stats, baselines[index])
             trace = ComponentTrace(
@@ -282,14 +306,19 @@ class ComponentSessionPool:
             merged.queries.extend(result.queries)
             merged.solvers_created += result.solvers_created
             merged.cancelled = merged.cancelled or result.cancelled
+            merged.degraded = merged.degraded or result.degraded
             if result.status in (UNSAT, UNKNOWN):
                 # A component over the cap (UNSAT) is definitive; an
                 # inconclusive component leaves the whole answer open.
                 if merged.status != UNSAT:
                     merged.status = result.status
                 continue
-            if result.status == SAT and merged.status == OPTIMAL:
-                merged.status = SAT  # feasible but optimality not proved
+            if result.lower_bound is not None:
+                proved_lb = max(proved_lb, result.lower_bound)
+            if result.status in (SAT, FEASIBLE) and merged.status == OPTIMAL:
+                # A budget-degraded component caps the merged answer at
+                # feasible: its coloring is verified, its optimum isn't.
+                merged.status = FEASIBLE
             info.components_solved += 1
             for local, color in sorted(result.coloring.items()):
                 kernel_coloring[self.components[index][local]] = color
@@ -300,6 +329,10 @@ class ComponentSessionPool:
         check_proper(self.graph, coloring)
         merged.coloring = coloring
         merged.num_colors = len(set(coloring.values()))
+        merged.upper_bound = merged.num_colors
+        merged.lower_bound = (
+            merged.num_colors if merged.status == OPTIMAL else proved_lb
+        )
         return merged
 
 

@@ -20,7 +20,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..coloring.solve import PipelineInfo
-from ..sat.result import OPTIMAL, SAT, UNSAT, SolverStats
+from ..resilience import Deadline
+from ..resilience.faults import fire as _fire_fault
+from ..sat.result import FEASIBLE, OPTIMAL, SAT, UNSAT, SolverStats
 from ..symmetry.detect import SymmetryReport
 
 
@@ -45,11 +47,19 @@ class ProgressEvent:
 
 @dataclass
 class RunContext:
-    """Per-run side channel: progress, cancellation, shared caches."""
+    """Per-run side channel: progress, cancellation, budget, caches.
+
+    ``deadline`` is the run's :class:`~repro.resilience.Deadline`
+    (unbounded by default); the Pipeline seeds it from the configured
+    time limit and every stage checks it instead of re-deriving
+    elapsed-time arithmetic.  ``emit`` doubles as the fault harness's
+    ``stage:<name>`` injection point.
+    """
 
     on_progress: Optional[Callable[[ProgressEvent], None]] = None
     cancel: Optional[Callable[[], bool]] = None
     detection_cache: Optional[Dict[Any, Any]] = None
+    deadline: Deadline = field(default_factory=Deadline.unbounded)
 
     def emit(
         self,
@@ -59,6 +69,7 @@ class RunContext:
         status: Optional[str] = None,
     ) -> None:
         """Deliver a progress event, if a callback is attached."""
+        _fire_fault(f"stage:{stage}", message)
         if self.on_progress is not None:
             self.on_progress(ProgressEvent(stage, message, k=k, status=status))
 
@@ -105,11 +116,20 @@ class ComponentTrace:
 class Result:
     """The structured outcome of one API query.
 
-    ``status`` is ``OPTIMAL`` / ``SAT`` / ``UNSAT`` / ``UNKNOWN`` with
-    the same semantics as the underlying engines; decision queries
-    answer ``SAT``/``UNSAT``.  ``num_colors`` is the number of colors
-    the reported ``coloring`` uses (the chromatic number when status is
-    OPTIMAL on a chromatic problem).
+    ``status`` is ``OPTIMAL`` / ``FEASIBLE`` / ``SAT`` / ``UNSAT`` /
+    ``UNKNOWN``.  Decision queries answer ``SAT``/``UNSAT``;
+    optimization queries answer ``OPTIMAL`` when the optimum was
+    proved, or ``FEASIBLE`` when the budget expired (or the caller
+    cancelled) mid-descent — then ``coloring`` is the *verified*
+    best-so-far solution, ``degraded`` is True, and
+    ``lower_bound``/``upper_bound`` carry whatever bounds the search
+    had proved.  ``num_colors`` is the number of colors the reported
+    ``coloring`` uses (the chromatic number when status is OPTIMAL on
+    a chromatic problem).
+
+    Contract: a FEASIBLE result's coloring is always proper (verified
+    before it is returned); degradation can weaken *optimality*, never
+    *correctness*.
     """
 
     status: str
@@ -126,6 +146,14 @@ class Result:
     # query for scratch strategies.
     solvers_created: int = 0
     cancelled: bool = False
+    # True when the run hit its budget (or was cancelled) before proving
+    # optimality and returned a verified best-so-far answer instead.
+    degraded: bool = False
+    # Bounds the search had proved when it stopped: every k <=
+    # lower_bound - 1 was refuted, a coloring with upper_bound colors
+    # was verified.  OPTIMAL means the two met.
+    lower_bound: Optional[int] = None
+    upper_bound: Optional[int] = None
     provenance: Optional[Provenance] = None
     # Per-component traces when the Session pool split the kernel
     # (empty for whole-kernel runs).
@@ -138,7 +166,12 @@ class Result:
 
     @property
     def is_sat(self) -> bool:
-        return self.status in (OPTIMAL, SAT)
+        return self.status in (OPTIMAL, FEASIBLE, SAT)
+
+    @property
+    def feasible(self) -> bool:
+        """A verified coloring exists, optimal or not."""
+        return self.status in (OPTIMAL, FEASIBLE, SAT)
 
     @property
     def chromatic_number(self) -> Optional[int]:

@@ -28,10 +28,12 @@ import time
 from typing import Callable, List, Optional, Tuple
 
 from ..coloring.sat_pipeline import IncrementalKSearch
+from ..coloring.verify import check_proper
 from ..graphs.cliques import clique_lower_bound
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
-from ..sat.result import OPTIMAL, SAT, UNKNOWN, UNSAT
+from ..resilience import Deadline
+from ..sat.result import FEASIBLE, OPTIMAL, SAT, UNKNOWN, UNSAT
 from .config import PipelineConfig
 from .results import ProgressEvent, Result, RunContext, StageStat
 
@@ -213,6 +215,7 @@ class Session:
         t0 = time.monotonic()
         if time_limit is None:
             time_limit = self.config.solve.time_limit
+        deadline = Deadline.after(time_limit)
         n = self.graph.num_vertices
         if n == 0:
             return self._result(OPTIMAL, {}, time.monotonic() - t0)
@@ -228,7 +231,7 @@ class Session:
         if max_colors is not None and max_colors < ub:
             # The cap undercuts the heuristic bound: establish
             # feasibility at the cap first.
-            probe = self.decide(max_colors, time_limit=time_limit)
+            probe = self.decide(max_colors, time_limit=deadline.remaining())
             if probe.status != SAT:
                 return self._result(
                     probe.status if probe.status == UNSAT else UNKNOWN,
@@ -239,29 +242,42 @@ class Session:
             ub = len(set(best.values()))
         search = self._ensure_search(ub)
         queries: List[Tuple[int, str]] = []
-
-        def remaining() -> Optional[float]:
-            if time_limit is None:
-                return None
-            return time_limit - (time.monotonic() - t0)
+        proved_lb = lb
 
         def finish(status: str, coloring, cancelled=False) -> Result:
+            # A descent stopped by its budget (or a cancel) before the
+            # bounds met degrades to FEASIBLE: the best-so-far coloring,
+            # re-verified here, with whatever bounds were proved.
+            # Degradation weakens optimality, never correctness.
+            degraded = status == SAT
+            if degraded:
+                status = FEASIBLE
+            upper = None
+            if coloring:
+                check_proper(self.graph, coloring)
+                upper = len(set(coloring.values()))
             result = self._result(status, coloring, time.monotonic() - t0,
                                   cancelled=cancelled)
+            result.degraded = degraded
+            result.upper_bound = upper
+            if status == OPTIMAL:
+                result.lower_bound = upper
+            elif status == FEASIBLE:
+                result.lower_bound = proved_lb
             result.queries = queries
             return result
 
         if strategy == "linear":
             k = ub - 1
             while k >= lb:
-                budget = remaining()
-                if budget is not None and budget <= 0:
+                if deadline.expired():
                     return finish(SAT, best)
                 if self._ctx.cancelled():
                     return finish(SAT, best, cancelled=True)
                 self._ctx.emit("query", f"deciding {k}-colorability", k=k)
                 status, coloring, _ = search.solve_k(
-                    k, time_limit=budget, should_stop=self._should_stop()
+                    k, time_limit=deadline.remaining(),
+                    should_stop=self._should_stop(),
                 )
                 queries.append((k, status))
                 self.queries.append((k, status))
@@ -277,14 +293,14 @@ class Session:
         lo, hi = lb, ub
         while lo < hi:
             mid = (lo + hi) // 2
-            budget = remaining()
-            if budget is not None and budget <= 0:
+            if deadline.expired():
                 return finish(SAT, best)
             if self._ctx.cancelled():
                 return finish(SAT, best, cancelled=True)
             self._ctx.emit("query", f"deciding {mid}-colorability", k=mid)
             status, coloring, failed_colors = search.solve_k(
-                mid, time_limit=budget, should_stop=self._should_stop()
+                mid, time_limit=deadline.remaining(),
+                should_stop=self._should_stop(),
             )
             queries.append((mid, status))
             self.queries.append((mid, status))
@@ -293,6 +309,7 @@ class Session:
                 return finish(SAT, best, cancelled=self._ctx.cancelled())
             if status == UNSAT:
                 lo = max(mid + 1, min(failed_colors) if failed_colors else 0)
+                proved_lb = lo
             else:
                 best = coloring
                 hi = min(len(set(coloring.values())), mid)

@@ -23,9 +23,10 @@ def conclusive(result: Result, kind: str) -> bool:
     """Did this result definitively answer the problem?
 
     ``OPTIMAL``/``UNSAT`` are conclusive for every kind; ``SAT``
-    additionally settles a *decision* query (for chromatic/budgeted
-    problems it only reports a best-so-far bound, which a fallback
-    backend may still improve on).
+    additionally settles a *decision* query.  ``FEASIBLE`` — a verified
+    but degraded best-so-far bound from a budget-expired descent — is
+    deliberately *not* conclusive: a fallback backend may still improve
+    on it, and the runner keeps the best partial answer either way.
     """
     return result.solved or (kind == DECISION and result.status == SAT)
 
@@ -38,6 +39,7 @@ def result_to_record(
         "status": result.status,
         "num_colors": result.num_colors,
         "cancelled": result.cancelled,
+        "degraded": result.degraded,
         "queries": [list(q) for q in result.queries],
         "conflicts": result.stats.conflicts,
         "propagations": result.stats.propagations,

@@ -13,7 +13,9 @@ attempt, so a hung or crashed solver never takes the pool down), with:
   re-queued on the next backend of the task's chain (e.g.
   ``cdcl-incremental`` -> ``cplex-bb``), with a fresh timeout budget;
 * **retry on worker death** — a worker that dies without reporting (OOM
-  kill, solver crash) is retried up to ``retries`` times on the same
+  kill, solver crash) is a *transient* failure under the runner's
+  :class:`~repro.resilience.RetryPolicy`: retried (with the policy's
+  deterministic backoff schedule) up to its retry budget on the same
   backend before the chain advances;
 * **deterministic ordering** — records are emitted in manifest order no
   matter the completion order, so ``--jobs 4`` output is byte-comparable
@@ -21,6 +23,11 @@ attempt, so a hung or crashed solver never takes the pool down), with:
 * **streaming JSONL** — each finalized record is written (and handed to
   ``on_record``) as soon as every earlier task has finalized, plus one
   aggregate summary at the end (per-backend wins, timeouts, total wall).
+  Every line is flushed *and fsynced* (a write-ahead log), so a crashed
+  batch loses at most the line that was mid-write — and
+  ``resume_records`` (the CLI's ``--resume``) replays a previous run's
+  intact records and schedules only the tasks they don't cover,
+  reproducing the uninterrupted run's records byte-for-byte.
 
 ``jobs=0`` runs every attempt inline in the calling process — no
 subprocesses, cooperative timeouts only — which is the right mode for
@@ -29,7 +36,6 @@ debugging and for platforms without ``fork``.
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import multiprocessing.connection
 import time
@@ -37,14 +43,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
 
+from ..resilience import Deadline, RetryPolicy, append_record
+from ..resilience.faults import fire as _fire_fault
 from .manifest import TaskSpec, as_task, load_plugins
 from .records import conclusive, error_record, result_to_record
 
-# Outcomes an attempt can end with.  "ok" finalizes; "timeout" /
-# "inconclusive" advance the fallback chain; "died" retries, then
-# advances; "error" advances immediately (a deterministic exception
-# will not go away on retry).
-_ADVANCING = ("timeout", "inconclusive", "error")
+# Outcomes an attempt can end with: "ok" finalizes; the rest are
+# classified by the runner's RetryPolicy — "died" is transient (retry,
+# then advance the fallback chain), "timeout" / "inconclusive" /
+# "error" promote to the next backend immediately.
 
 
 def _execute_attempt(
@@ -55,10 +62,8 @@ def _execute_attempt(
 ) -> Tuple[str, Dict[str, object]]:
     """Run one (task, backend) attempt to completion in this process."""
     start = time.monotonic()
-    deadline = start + task_timeout if task_timeout is not None else None
-
-    def out_of_time() -> bool:
-        return deadline is not None and time.monotonic() >= deadline
+    deadline = Deadline.after(task_timeout)
+    _fire_fault("attempt", backend)
 
     try:
         graph = task.graph.build()
@@ -71,7 +76,7 @@ def _execute_attempt(
             )
         pipeline = task.pipeline(backend=backend, time_limit=time_limit)
         result = pipeline.run(
-            problem, cancel=out_of_time if deadline is not None else None
+            problem, cancel=deadline.expired if deadline.bounded else None
         )
     except Exception as exc:  # noqa: BLE001 - reported, never fatal to the batch
         return "error", error_record(
@@ -81,7 +86,7 @@ def _execute_attempt(
     record["seconds"] = round(time.monotonic() - start, 6)
     if conclusive(result, task.kind):
         outcome = "ok"
-    elif result.cancelled or out_of_time():
+    elif result.cancelled or deadline.expired():
         outcome = "timeout"
         record["timed_out"] = True
     else:
@@ -158,7 +163,7 @@ class _TaskState:
 
 
 class _Flight:
-    """One in-flight worker process."""
+    """One in-flight worker process (``kill_at`` is its hard Deadline)."""
 
     __slots__ = ("index", "process", "conn", "started", "kill_at")
 
@@ -187,8 +192,10 @@ class _OrderedEmitter:
         ):
             ready = self._records[self._cursor]
             if self._jsonl is not None:
-                self._jsonl.write(json.dumps(ready, sort_keys=True) + "\n")
-                self._jsonl.flush()
+                # Write-ahead-log discipline: the record is on disk
+                # before the runner schedules anything that depends on
+                # it, so --resume can trust every intact line.
+                append_record(self._jsonl, ready)
             if self._on_record is not None:
                 self._on_record(ready)
             self._cursor += 1
@@ -219,6 +226,8 @@ class BatchRunner:
         plugins: Sequence[str] = (),
         on_record=None,
         jsonl: Optional[IO[str]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        resume_records: Sequence[Dict[str, object]] = (),
     ):
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -238,6 +247,13 @@ class BatchRunner:
         self.jobs = jobs
         self.task_timeout = task_timeout
         self.retries = retries
+        # One policy object answers retry?/promote?/wait-how-long for
+        # every attempt; ``retries`` remains the convenience knob.
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy(max_retries=retries)
+        )
+        self.resume_records = list(resume_records)
         if kill_grace is None and task_timeout is not None:
             kill_grace = max(1.0, 0.5 * task_timeout)
         self.kill_grace = kill_grace
@@ -250,22 +266,43 @@ class BatchRunner:
         start = time.monotonic()
         states = [_TaskState(task.backends) for task in self.tasks]
         emitter = _OrderedEmitter(len(self.tasks), self._on_record, self._jsonl)
+        done = self._replay_resumed(emitter)
         if self.jobs == 0:
-            self._run_inline(states, emitter)
+            self._run_inline(states, emitter, skip=done)
         else:
-            self._run_pool(states, emitter)
+            self._run_pool(states, emitter, skip=done)
         report = BatchReport(records=emitter.records())
         report.summary = self._summarize(report.records, time.monotonic() - start)
         if self._jsonl is not None:
-            self._jsonl.write(
-                json.dumps({"summary": report.summary}, sort_keys=True) + "\n"
-            )
-            self._jsonl.flush()
+            append_record(self._jsonl, {"summary": report.summary})
         return report
 
+    def _replay_resumed(self, emitter: "_OrderedEmitter") -> frozenset:
+        """Re-emit a previous run's intact records; return their indices.
+
+        A resumed record must still name the task it claims to answer
+        (same manifest index, same task description) — a record from a
+        different or reordered manifest is silently ignored and its
+        task re-runs, which is always safe.
+        """
+        done = set()
+        for record in self.resume_records:
+            index = record.get("index")
+            if not isinstance(index, int) or not 0 <= index < len(self.tasks):
+                continue
+            if record.get("task") != self.tasks[index].describe():
+                continue
+            if index in done:
+                continue
+            done.add(index)
+            emitter.add(index, dict(record))
+        return frozenset(done)
+
     # ----------------------------------------------------------- inline mode
-    def _run_inline(self, states, emitter) -> None:
+    def _run_inline(self, states, emitter, skip=frozenset()) -> None:
         for index, task in enumerate(self.tasks):
+            if index in skip:
+                continue
             state = states[index]
             while True:
                 outcome, record = _execute_attempt(
@@ -276,9 +313,9 @@ class BatchRunner:
                     break
 
     # ------------------------------------------------------------- pool mode
-    def _run_pool(self, states, emitter) -> None:
+    def _run_pool(self, states, emitter, skip=frozenset()) -> None:
         ctx = self._mp_context()
-        pending = deque(range(len(self.tasks)))
+        pending = deque(i for i in range(len(self.tasks)) if i not in skip)
         flights: Dict[int, _Flight] = {}
         while pending or flights:
             while pending and len(flights) < self.jobs:
@@ -316,7 +353,7 @@ class BatchRunner:
                     )
                     if not self._settle(index, state, "died", record, emitter):
                         pending.append(index)
-                elif flight.kill_at is not None and now >= flight.kill_at:
+                elif flight.kill_at.expired():
                     # Overran the deadline past the kill grace: the
                     # cooperative path failed, pull the plug.
                     self._kill(flight)
@@ -355,20 +392,21 @@ class BatchRunner:
         process.start()
         send.close()  # the parent only reads
         started = time.monotonic()
-        kill_at = None
-        if self.task_timeout is not None:
-            kill_at = started + self.task_timeout + (self.kill_grace or 0.0)
+        kill_at = Deadline.after(
+            self.task_timeout + (self.kill_grace or 0.0)
+            if self.task_timeout is not None else None
+        )
         return _Flight(index, process, recv, started, kill_at)
 
     def _wait(self, flights: Dict[int, _Flight]) -> None:
         """Block until a worker reports, dies, or a kill deadline nears."""
         if not flights:
             return
-        now = time.monotonic()
         timeout = 0.5
         for flight in flights.values():
-            if flight.kill_at is not None:
-                timeout = min(timeout, max(0.0, flight.kill_at - now))
+            remaining = flight.kill_at.remaining()
+            if remaining is not None:
+                timeout = min(timeout, remaining)
         handles = [f.conn for f in flights.values()]
         handles += [f.process.sentinel for f in flights.values()]
         multiprocessing.connection.wait(handles, timeout=timeout)
@@ -420,10 +458,13 @@ class BatchRunner:
             best = state.best_partial
             if best is None or best[1].get("num_colors") > colors:
                 state.best_partial = (state.backend, record)
-        if outcome == "died" and state.retry < self.retries:
+        if self.retry_policy.should_retry(outcome, state.retry):
             state.retry += 1
+            delay = self.retry_policy.delay(state.retry)
+            if delay > 0:
+                time.sleep(delay)
             return False
-        if outcome in _ADVANCING or outcome == "died":
+        if self.retry_policy.should_promote(outcome):
             if state.has_fallback():
                 state.backend_idx += 1
                 state.retry = 0
@@ -491,6 +532,8 @@ def solve_many(
     plugins: Sequence[str] = (),
     on_record=None,
     jsonl_path: Optional[str] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    resume_records: Sequence[Dict[str, object]] = (),
 ) -> BatchReport:
     """Solve many problems across a worker pool; records in input order.
 
@@ -504,7 +547,8 @@ def solve_many(
         jobs=jobs, task_timeout=task_timeout, fallback=fallback,
         retries=retries, kill_grace=kill_grace,
         include_colorings=include_colorings, plugins=plugins,
-        on_record=on_record,
+        on_record=on_record, retry_policy=retry_policy,
+        resume_records=resume_records,
     )
     if jsonl_path is not None:
         with open(jsonl_path, "w") as fh:

@@ -26,6 +26,7 @@ from typing import Dict, Optional
 from ..graphs.cliques import greedy_clique
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
+from ..resilience import Deadline
 
 
 @dataclass
@@ -53,6 +54,7 @@ def coudert_chromatic_number(
     what makes the bound pay for itself.
     """
     start = time.monotonic()
+    deadline = Deadline.after(time_limit)
     n = graph.num_vertices
     if n == 0:
         return CoudertResult(0, {}, True, 0, 0.0)
@@ -71,8 +73,8 @@ def coudert_chromatic_number(
     def over_budget() -> bool:
         if node_limit is not None and nodes[0] > node_limit:
             return True
-        if time_limit is not None and (nodes[0] & 63) == 0:
-            return time.monotonic() - start > time_limit
+        if deadline.bounded and (nodes[0] & 63) == 0:
+            return deadline.expired()
         return False
 
     def uncolored_clique_bound() -> int:

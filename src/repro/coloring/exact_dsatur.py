@@ -18,6 +18,7 @@ from typing import Dict, Optional
 from ..graphs.cliques import greedy_clique
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
+from ..resilience import Deadline
 
 
 @dataclass
@@ -42,6 +43,7 @@ def exact_chromatic_number(
     with ``optimal=False``.
     """
     start = time.monotonic()
+    deadline = Deadline.after(time_limit)
     n = graph.num_vertices
     if n == 0:
         return ExactColoringResult(0, {}, True, 0, 0.0)
@@ -65,8 +67,8 @@ def exact_chromatic_number(
     def out_of_budget() -> bool:
         if node_limit is not None and nodes[0] > node_limit:
             return True
-        if time_limit is not None and (nodes[0] & 255) == 0:
-            if time.monotonic() - start > time_limit:
+        if deadline.bounded and (nodes[0] & 255) == 0:
+            if deadline.expired():
                 return True
         return False
 

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Set
 from ..graphs.cliques import clique_lower_bound
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
+from ..resilience import Deadline
 
 
 @dataclass
@@ -54,6 +55,7 @@ def solve_necsp(
     paper does).
     """
     start = time.monotonic()
+    deadline = Deadline.after(time_limit)
     n = graph.num_vertices
     if n == 0:
         return NECSPResult("SAT", {}, 0, 0.0)
@@ -68,8 +70,8 @@ def solve_necsp(
     def over_budget() -> bool:
         if node_limit is not None and nodes[0] > node_limit:
             return True
-        if time_limit is not None and (nodes[0] & 127) == 0:
-            return time.monotonic() - start > time_limit
+        if deadline.bounded and (nodes[0] & 127) == 0:
+            return deadline.expired()
         return False
 
     def select_variable() -> int:
@@ -147,17 +149,16 @@ def necsp_chromatic_number(
 ) -> NECSPOptimum:
     """Chromatic number by descending NECSP decision queries."""
     start = time.monotonic()
+    deadline = Deadline.after(time_limit)
     heuristic, ub = dsatur(graph)
     best = {v: c + 1 for v, c in heuristic.items()}
     lb = max(1, clique_lower_bound(graph)) if graph.num_vertices else 0
     k = ub - 1
     nodes = 0
     while k >= lb and graph.num_vertices:
-        budget = None
-        if time_limit is not None:
-            budget = time_limit - (time.monotonic() - start)
-            if budget <= 0:
-                return NECSPOptimum("SAT", k + 1, best, nodes, time.monotonic() - start)
+        budget = deadline.remaining()
+        if budget is not None and budget <= 0:
+            return NECSPOptimum("SAT", k + 1, best, nodes, time.monotonic() - start)
         result = solve_necsp(
             graph, k, time_limit=budget, node_limit=node_limit,
             break_value_symmetry=break_value_symmetry,

@@ -44,6 +44,7 @@ from ..core.formula import Formula
 from ..graphs.cliques import clique_lower_bound
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
+from ..resilience import Deadline
 from ..sat.factory import new_solver
 from ..sat.preprocessing import preprocess as preprocess_cnf
 from ..sat.preprocessing import simplify_formula
@@ -533,16 +534,13 @@ def sat_k_colorable(
     if k <= 0:
         return (UNSAT if graph.num_vertices else SAT), ({} if not graph.num_vertices else None)
     if reduce:
-        start = time.monotonic()
+        deadline = Deadline.after(time_limit)
 
         def decide(sub: Graph, kk: int) -> Tuple[str, Optional[Dict[int, int]]]:
             # The budget is shared by all kernel components, not per
             # component — hand each one only what is left.
-            remaining = None
-            if time_limit is not None:
-                remaining = max(0.0, time_limit - (time.monotonic() - start))
             return sat_k_colorable(
-                sub, kk, time_limit=remaining, amo_encoding=amo_encoding,
+                sub, kk, time_limit=deadline.remaining(), amo_encoding=amo_encoding,
                 sbp_kind=sbp_kind, preprocess=preprocess, reduce=False,
                 stats=stats, should_stop=should_stop,
             )
@@ -666,11 +664,7 @@ def chromatic_number_sat(
     calls = 0
     run_stats = SolverStats()
     k_queries: List[Tuple[int, str]] = []
-
-    def remaining() -> Optional[float]:
-        if time_limit is None:
-            return None
-        return time_limit - (time.monotonic() - start)
+    deadline = Deadline.after(time_limit)
 
     def finish(status: str, k: int) -> SatPipelineResult:
         return SatPipelineResult(
@@ -682,14 +676,13 @@ def chromatic_number_sat(
     if strategy == "linear":
         k = ub - 1
         while k >= lb:
-            budget = remaining()
-            if budget is not None and budget <= 0:
+            if deadline.expired():
                 return finish(SAT, k + 1)
             if should_stop is not None and should_stop():
                 return finish(SAT, k + 1)
             calls += 1
             status, coloring = sat_k_colorable(
-                graph, k, time_limit=budget,
+                graph, k, time_limit=deadline.remaining(),
                 amo_encoding=amo_encoding, sbp_kind=sbp_kind,
                 preprocess=preprocess, reduce=reduce, stats=run_stats,
                 should_stop=should_stop,
@@ -706,14 +699,13 @@ def chromatic_number_sat(
     lo, hi = lb, ub
     while lo < hi:
         mid = (lo + hi) // 2
-        budget = remaining()
-        if budget is not None and budget <= 0:
+        if deadline.expired():
             return finish(SAT, hi)
         if should_stop is not None and should_stop():
             return finish(SAT, hi)
         calls += 1
         status, coloring = sat_k_colorable(
-            graph, mid, time_limit=budget,
+            graph, mid, time_limit=deadline.remaining(),
             amo_encoding=amo_encoding, sbp_kind=sbp_kind,
             preprocess=preprocess, reduce=reduce, stats=run_stats,
             should_stop=should_stop,
@@ -751,6 +743,7 @@ def _chromatic_number_incremental(
     clauses span components; see the ROADMAP's "Incremental search"
     notes for the per-component variant.
     """
+    deadline = Deadline.after(time_limit)
     if reduce and kernelized is not None:
         # The component pool's probe already peeled at the clique bound.
         lb, kernel, _ = kernelized
@@ -798,11 +791,6 @@ def _chromatic_number_incremental(
         simplify=preprocess, eliminate=preprocess,
     )
 
-    def remaining() -> Optional[float]:
-        if time_limit is None:
-            return None
-        return time_limit - (time.monotonic() - start)
-
     def finish(status: str, chi: int, kernel_coloring: Dict[int, int]) -> SatPipelineResult:
         run_stats.merge(search.stats)
         return SatPipelineResult(
@@ -814,8 +802,7 @@ def _chromatic_number_incremental(
     if strategy == "linear":
         k = ub - 1
         while k >= lb:
-            budget = remaining()
-            if budget is not None and budget <= 0:
+            if deadline.expired():
                 return finish(SAT, k + 1, best_kernel)
             if should_stop is not None and should_stop():
                 return finish(SAT, k + 1, best_kernel)
@@ -824,7 +811,8 @@ def _chromatic_number_incremental(
             # off permanently (level-0 units): same persistent solver,
             # but learnt clauses stay free of assumption literals.
             status, coloring, _ = search.solve_k(
-                k, time_limit=budget, permanent=True, should_stop=should_stop
+                k, time_limit=deadline.remaining(), permanent=True,
+                should_stop=should_stop,
             )
             k_queries.append((k, status))
             if status == UNKNOWN:
@@ -838,14 +826,13 @@ def _chromatic_number_incremental(
     lo, hi = lb, ub
     while lo < hi:
         mid = (lo + hi) // 2
-        budget = remaining()
-        if budget is not None and budget <= 0:
+        if deadline.expired():
             return finish(SAT, hi, best_kernel)
         if should_stop is not None and should_stop():
             return finish(SAT, hi, best_kernel)
         calls += 1
         status, coloring, failed_colors = search.solve_k(
-            mid, time_limit=budget, should_stop=should_stop
+            mid, time_limit=deadline.remaining(), should_stop=should_stop
         )
         k_queries.append((mid, status))
         if status == UNKNOWN:

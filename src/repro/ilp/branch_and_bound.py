@@ -19,6 +19,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from ..core.formula import Formula
+from ..resilience import Deadline
 from ..sat.result import (
     OPTIMAL,
     OptimizeResult,
@@ -97,6 +98,7 @@ class BranchAndBoundSolver:
         if formula.objective is None:
             raise ValueError("formula has no objective; use decide()")
         start = time.monotonic()
+        deadline = Deadline.after(time_limit)
         stats = SolverStats()
         model = formula_to_ilp(formula)
         n = model.num_vars
@@ -107,7 +109,7 @@ class BranchAndBoundSolver:
         stack: List[Tuple[np.ndarray, np.ndarray]] = [(np.zeros(n), np.ones(n))]
         timed_out = False
         while stack:
-            if time_limit is not None and time.monotonic() - start > time_limit:
+            if deadline.expired():
                 timed_out = True
                 break
             if self.node_limit is not None and self.nodes_explored >= self.node_limit:

@@ -19,12 +19,12 @@ Section 4.1 discussion of how chromatic-number bounds are tightened:
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.formula import Formula
 from ..core.literals import var_of
 from ..core.pbconstraint import normalize_terms
+from ..resilience import Deadline
 from ..sat.result import OPTIMAL, OptimizeResult, SAT, UNKNOWN, UNSAT, SolverStats
 from .engine import PBSolver
 
@@ -71,7 +71,7 @@ def minimize_linear(
     """
     if formula.objective is None:
         raise ValueError("formula has no objective")
-    start = time.monotonic()
+    deadline = Deadline.after(time_limit)
     stats = SolverStats()
     solver = (solver_factory or PBSolver)()
     if not _load(solver, formula):
@@ -86,14 +86,11 @@ def minimize_linear(
         if should_stop is not None and should_stop():
             status = SAT if best_value is not None else UNKNOWN
             return OptimizeResult(status, best_value, best_model, stats)
-        remaining = None
-        if time_limit is not None:
-            remaining = time_limit - (time.monotonic() - start)
-            if remaining <= 0:
-                status = SAT if best_value is not None else UNKNOWN
-                return OptimizeResult(status, best_value, best_model, stats)
+        if deadline.expired():
+            status = SAT if best_value is not None else UNKNOWN
+            return OptimizeResult(status, best_value, best_model, stats)
         result = solver.solve(
-            time_limit=remaining,
+            time_limit=deadline.remaining(),
             conflict_limit=conflict_limit,
             should_stop=should_stop,
         )
@@ -144,7 +141,7 @@ def minimize_binary(
             formula, solver_factory, time_limit, conflict_limit,
             upper_bound_hint, lower_bound, should_stop,
         )
-    start = time.monotonic()
+    deadline = Deadline.after(time_limit)
     stats = SolverStats()
     factory = solver_factory or PBSolver
 
@@ -156,15 +153,12 @@ def minimize_binary(
             terms, degree = _bound_terms(formula, bound)
             if not solver.add_linear_ge(terms, degree):
                 return UNSAT, None
-        remaining = None
-        if time_limit is not None:
-            remaining = time_limit - (time.monotonic() - start)
-            if remaining <= 0:
-                return UNKNOWN, None
+        if deadline.expired():
+            return UNKNOWN, None
         if should_stop is not None and should_stop():
             return UNKNOWN, None
         result = solver.solve(
-            time_limit=remaining,
+            time_limit=deadline.remaining(),
             conflict_limit=conflict_limit,
             should_stop=should_stop,
         )
@@ -208,7 +202,7 @@ def _minimize_binary_incremental(
     should_stop: Optional[ShouldStop] = None,
 ) -> OptimizeResult:
     """Bisection on one persistent solver via selector-guarded bounds."""
-    start = time.monotonic()
+    deadline = Deadline.after(time_limit)
     stats = SolverStats()
     solver = (solver_factory or PBSolver)()
     if not _load(solver, formula):
@@ -233,16 +227,13 @@ def _minimize_binary_incremental(
                 if not solver.add_linear_ge(guarded, norm_degree):
                     return UNSAT, None
                 assumptions = [selector]
-        remaining = None
-        if time_limit is not None:
-            remaining = time_limit - (time.monotonic() - start)
-            if remaining <= 0:
-                return UNKNOWN, None
+        if deadline.expired():
+            return UNKNOWN, None
         if should_stop is not None and should_stop():
             return UNKNOWN, None
         result = solver.solve(
             assumptions=assumptions,
-            time_limit=remaining,
+            time_limit=deadline.remaining(),
             conflict_limit=conflict_limit,
             should_stop=should_stop,
         )

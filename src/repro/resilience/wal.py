@@ -1,0 +1,91 @@
+"""Write-ahead-log JSONL: durable appends, recoverable reads.
+
+The batch runner's streamed JSONL doubles as its checkpoint: if every
+record hits the disk before the next task is scheduled, a crash (or
+SIGKILL) loses at most the one record that was mid-write, and a
+``--resume`` run can skip everything already settled.  That only works
+with two guarantees this module provides:
+
+* :func:`append_record` / :func:`fsync_file` — each line is flushed
+  *and fsynced*, so the OS page cache cannot hold a batch of "written"
+  records hostage across a power cut;
+* :func:`read_wal` — reading tolerates exactly the failure mode the
+  write path permits: a truncated or garbled **tail**.  The first
+  undecodable or unterminated line and everything after it are
+  dropped (and reported), never re-interpreted.
+
+:func:`corrupt_tail` exists for the fault harness: it truncates a WAL
+mid-record to simulate the crash the reader must survive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Dict, List, Tuple
+
+
+def fsync_file(fh: IO[str]) -> None:
+    """Flush ``fh`` and fsync its descriptor, if it has one.
+
+    Streams without a real descriptor (StringIO, some pipes/ttys where
+    fsync is meaningless) are flushed only — durability is moot there.
+    """
+    fh.flush()
+    try:
+        os.fsync(fh.fileno())
+    except (OSError, ValueError, AttributeError):
+        pass
+
+
+def append_record(fh: IO[str], record: Dict[str, object]) -> None:
+    """Append one JSON record durably (canonical key order, one line)."""
+    fh.write(json.dumps(record, sort_keys=True) + "\n")
+    fsync_file(fh)
+
+
+def read_wal(path: str) -> Tuple[List[Dict[str, object]], int]:
+    """Read a JSONL write-ahead log, dropping a damaged tail.
+
+    Returns ``(records, dropped)`` where ``records`` are the decoded
+    dicts of every intact line and ``dropped`` counts the trailing
+    lines discarded: a final line without its newline terminator (the
+    write was cut mid-line) or any line that fails to decode — and,
+    conservatively, everything after the first such line, since a WAL
+    is only trustworthy up to its first tear.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if not raw:
+        return [], 0
+    lines = raw.split(b"\n")
+    # A well-terminated file ends with b"" after the final newline;
+    # anything else is a torn tail, dropped before decoding.
+    torn_tail = lines[-1] != b""
+    lines = lines[:-1]
+    records: List[Dict[str, object]] = []
+    dropped = 1 if torn_tail else 0
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            decoded = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            dropped += len(lines) - i
+            break
+        if not isinstance(decoded, dict):
+            dropped += len(lines) - i
+            break
+        records.append(decoded)
+    return records, dropped
+
+
+def corrupt_tail(path: str, cut_bytes: int = 7) -> None:
+    """Truncate the WAL mid-record (fault-harness helper).
+
+    Cuts ``cut_bytes`` off the end of the file, tearing the final line
+    the way a crash between ``write`` and the terminating newline would.
+    """
+    size = os.path.getsize(path)
+    with open(path, "rb+") as fh:
+        fh.truncate(max(0, size - cut_bytes))

@@ -599,6 +599,7 @@ class CDCLSolver:
                     if should_stop():
                         return self._finish(UNKNOWN, start, base, run)
                 if time_limit is not None and (self.stats.conflicts & 127) == 0:
+                    # repro: allow[RPR007] engine hot loop: no per-conflict Deadline call
                     if time.monotonic() - start > time_limit:
                         return self._finish(UNKNOWN, start, base, run)
                 if conflicts_here >= budget:
@@ -632,6 +633,7 @@ class CDCLSolver:
             self.stats.decisions += 1
             if (self.stats.decisions & 1023) == 0 and (
                 (time_limit is not None
+                 # repro: allow[RPR007] engine hot loop: no per-decision Deadline call
                  and time.monotonic() - start > time_limit)
                 or (should_stop is not None and should_stop())
             ):

@@ -8,6 +8,10 @@ from typing import Dict, List, Optional
 SAT = "SAT"
 UNSAT = "UNSAT"
 UNKNOWN = "UNKNOWN"  # resource limit (time / conflicts) reached
+# A verified coloring whose optimality was *not* proved: the answer an
+# optimization run degrades to when its budget expires mid-descent.
+# Engines report SAT for best-so-far; the api layer maps it to FEASIBLE.
+FEASIBLE = "FEASIBLE"
 
 
 @dataclass

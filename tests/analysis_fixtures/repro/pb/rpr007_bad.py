@@ -1,0 +1,22 @@
+"""RPR007 positive fixture: hand-rolled deadline arithmetic."""
+
+import time
+
+
+def wait_until_done(time_limit):
+    start = time.monotonic()
+    while True:  # noqa: fixture loop, not a solve path (RPR002 scope only)
+        if time.monotonic() - start > time_limit:  # finding 1: compare
+            return False
+        if time.time() > start + time_limit:  # finding 2: wall-clock compare
+            return False
+
+
+def shrink_budget(time_limit, start):
+    budget = time_limit - (time.monotonic() - start)  # finding 3: budget arithmetic
+    return budget
+
+
+def kill_horizon(task_timeout):
+    kill_at = time.monotonic() + task_timeout  # finding 4: deadline arithmetic
+    return kill_at

@@ -1,0 +1,25 @@
+"""RPR007 negative fixture: Deadline for expiry, raw clock for elapsed."""
+
+import time
+
+from repro.resilience import Deadline
+
+
+def wait_until_done(time_limit):
+    deadline = Deadline.after(time_limit)
+    while not deadline.expired():
+        pass
+    return deadline.remaining()
+
+
+def measure_elapsed():
+    # Elapsed-time *measurement* is allowed: no compare, no deadline
+    # keyword in the statement.
+    start = time.monotonic()
+    do_work()
+    seconds = time.monotonic() - start
+    return seconds
+
+
+def do_work():
+    return None

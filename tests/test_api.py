@@ -113,7 +113,10 @@ def test_new_backend_plugs_in_without_call_site_changes():
     try:
         result = (Pipeline().solve(backend="test-greedy")
                   .run(ChromaticProblem(queens_graph(4, 4))))
-        assert result.status == "SAT" and result.num_colors >= 5
+        # A SAT answer from an optimization backend degrades to FEASIBLE
+        # at the Pipeline boundary: verified coloring, no optimality proof.
+        assert result.status == "FEASIBLE" and result.num_colors >= 5
+        assert result.degraded and result.feasible
         assert result.provenance.backend == "test-greedy"
         # Unsupported problem kinds fail fast at the boundary.
         with pytest.raises(ValueError, match="decision"):

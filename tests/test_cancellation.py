@@ -57,7 +57,10 @@ def test_session_chromatic_cancel_returns_best_so_far():
     with Session(mycielski_graph(4), cancel=cancel) as session:
         result = session.chromatic()
     assert result.cancelled
-    assert result.status == "SAT"  # heuristic bound, optimality unproved
+    # Heuristic bound, optimality unproved: the degraded-but-verified
+    # FEASIBLE contract.
+    assert result.status == "FEASIBLE"
+    assert result.degraded
     assert result.num_colors is not None
     assert result.coloring is not None
 
@@ -78,7 +81,8 @@ def test_pipeline_cancel_chromatic_descent_returns_best_so_far():
               .run(ChromaticProblem(mycielski_graph(4)),
                    cancel=lambda: True))
     assert result.cancelled
-    assert result.status == "SAT"
+    assert result.status == "FEASIBLE"
+    assert result.degraded
     # Best-so-far: a proper coloring exists even though the descent
     # never got to prove optimality.
     assert result.num_colors is not None
@@ -91,10 +95,12 @@ def test_pipeline_time_limit_chromatic_gives_unproved_bound():
               .run(ChromaticProblem(queens_graph(6, 6))))
     # The SAT chain descends fast; the K=6 UNSAT proof does not fit in
     # the budget, so the answer is a feasible-but-unproved bound.
-    assert result.status in ("SAT", "UNKNOWN")
+    assert result.status in ("FEASIBLE", "UNKNOWN")
     assert not result.solved
-    if result.status == "SAT":
+    if result.status == "FEASIBLE":
+        assert result.degraded
         assert result.num_colors is not None
+        assert result.upper_bound == result.num_colors
 
 
 def _pigeonhole(pigeons, holes):
@@ -167,7 +173,8 @@ def test_session_chromatic_cancel_interrupts_mid_descent():
         result = session.chromatic(strategy="linear")
     elapsed = time.monotonic() - start
     assert result.cancelled
-    assert result.status == "SAT"
+    assert result.status == "FEASIBLE"
+    assert result.degraded
     assert result.num_colors is not None
     assert result.coloring is not None
     assert elapsed < 30, f"in-query cancellation took {elapsed:.1f}s"
@@ -181,7 +188,7 @@ def test_pipeline_cancel_interrupts_mid_query():
               .run(ChromaticProblem(queens_graph(6, 6)), cancel=cancel))
     elapsed = time.monotonic() - start
     assert result.cancelled
-    assert result.status in ("SAT", "UNKNOWN")
+    assert result.status in ("FEASIBLE", "UNKNOWN")
     assert elapsed < 30, f"in-query cancellation took {elapsed:.1f}s"
 
 

@@ -55,6 +55,7 @@ POSITIVE_FIXTURES = [
     ("repro/api/rpr004_bad.py", "RPR004", 2),
     ("repro/coloring/rpr005_bad.py", "RPR005", 1),
     ("repro/batch/rpr006_bad.py", "RPR006", 4),
+    ("repro/pb/rpr007_bad.py", "RPR007", 4),
 ]
 
 NEGATIVE_FIXTURES = [
@@ -67,6 +68,7 @@ NEGATIVE_FIXTURES = [
     "repro/coloring/rpr005_good.py",
     "repro/sat/rpr005_exempt.py",
     "repro/batch/rpr006_good.py",
+    "repro/pb/rpr007_good.py",
 ]
 
 
@@ -160,7 +162,9 @@ def test_get_rules_selection_and_unknown_rule():
 
 def test_rule_registry_is_complete():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"]
+    assert ids == [
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007",
+    ]
     assert all(rule.title and rule.rationale for rule in all_rules())
 
 
