@@ -13,8 +13,10 @@
 # `make coverage` runs the tier-1 suite under pytest-cov
 # with the CI coverage floor; `make lint` runs ruff; `make analyze`
 # runs the solver-invariant static checker (repro.analysis — pure
-# stdlib, always available); `make typecheck` runs the typed-core mypy
-# gate (mypy.ini).
+# stdlib, always available) over src/scripts/benchmarks/examples with
+# the incremental facts cache, exports the project call graph to
+# callgraph.json, and prints a one-line timing/stats summary to
+# stderr; `make typecheck` runs the typed-core mypy gate (mypy.ini).
 #
 # Tools that offline dev environments may lack (ruff, pytest-cov,
 # mypy) are skipped with a notice locally but are hard failures when
@@ -54,8 +56,13 @@ lint:
 		echo "ruff not installed; skipping lint (CI installs it)"; \
 	fi
 
+ANALYZE_PATHS ?= src scripts benchmarks examples
+ANALYZE_CACHE ?= .repro-analysis-cache
+ANALYZE_GRAPH ?= callgraph.json
+
 analyze:
-	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis src
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro.analysis $(ANALYZE_PATHS) \
+		--cache-dir $(ANALYZE_CACHE) --graph $(ANALYZE_GRAPH)
 
 typecheck:
 	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \

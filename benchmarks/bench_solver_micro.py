@@ -54,6 +54,7 @@ def test_cdcl_implication_chain(benchmark, bench_json):
     def load_and_solve():
         # The chain propagates fully while the unit is loaded, so report
         # the solver's global counters, not the per-call solve() deltas.
+        # repro: allow[RPR005] micro-bench times the concrete engine, not the factory
         solver = CDCLSolver(num_vars=f.num_vars)
         assert solver.add_formula(f)
         result = solver.solve()

@@ -3,6 +3,10 @@
 Exit status is 0 when no findings remain after suppressions, 1 when
 findings exist, 2 on usage/parse errors — so CI can gate on it
 directly (``make analyze``).
+
+The report (text or ``--json``) goes to stdout; the one-line run stats
+(files, cached, rules, findings, seconds) go to stderr, so a warm
+cached run's stdout stays byte-identical to a cold one.
 """
 
 from __future__ import annotations
@@ -10,18 +14,20 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
-from . import rules as _rules  # noqa: F401  (import registers the rules)
-from .core import all_rules, get_rules
-from .report import render_human, render_json
-from .runner import has_findings, run
+from .core import ProjectRule, Rule, all_project_rules, all_rules, select_rules
+from .report import format_stats, render_human, render_json
+from .runner import has_findings, run_project
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Solver-invariant static checker (rules RPR001-RPR006).",
+        description=(
+            "Solver-invariant static checker: per-file rules plus "
+            "interprocedural call-graph rules (RPR001-RPR010)."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -43,6 +49,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered rules with their rationale and exit",
     )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "incremental facts cache directory: unchanged files (by "
+            "content hash) are served from DIR/facts.json without "
+            "re-parsing"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extract facts with N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--graph",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the project call graph as JSON to FILE",
+    )
     return parser
 
 
@@ -51,7 +82,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in all_rules():
+        rules_listing: List[Union[Rule, ProjectRule]] = []
+        rules_listing.extend(all_rules())
+        rules_listing.extend(all_project_rules())
+        for rule in rules_listing:
             print(f"{rule.rule_id}  {rule.title}")
             print(f"        {rule.rationale}")
         return 0
@@ -59,6 +93,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rule_ids: Optional[List[str]] = None
     if args.rules:
         rule_ids = [part for part in args.rules.split(",") if part.strip()]
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
@@ -70,7 +108,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     try:
-        reports = run(paths, rule_ids)
+        file_rules, project_rules = select_rules(rule_ids)
+        report = run_project(
+            paths, rule_ids, cache_dir=args.cache_dir, jobs=args.jobs
+        )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -78,12 +119,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    rules = get_rules(rule_ids)
+    if args.graph is not None:
+        import json as _json
+
+        args.graph.parent.mkdir(parents=True, exist_ok=True)
+        args.graph.write_text(
+            _json.dumps(report.graph.to_dict(), indent=2, sort_keys=False)
+            + "\n",
+            encoding="utf-8",
+        )
+
+    shown: List[Union[Rule, ProjectRule]] = []
+    shown.extend(file_rules)
+    shown.extend(project_rules)
     if args.json:
-        print(render_json(reports, rules))
+        print(render_json(report.files, shown))
     else:
-        print(render_human(reports, rules))
-    return 1 if has_findings(reports) else 0
+        print(render_human(report.files, shown))
+    print(format_stats(report.stats), file=sys.stderr)
+    return 1 if has_findings(report.files) else 0
 
 
 if __name__ == "__main__":

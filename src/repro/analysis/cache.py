@@ -1,0 +1,156 @@
+"""Incremental facts cache: skip re-extracting unchanged files.
+
+The store is one JSON document per cache directory holding, per
+analyzed file, the content hash it was extracted from plus everything
+a re-run needs: the module facts (for the call graph), the raw
+per-file-rule findings, and the parsed suppression comments.  A file
+whose content hash, facts version, and rule selection all match is
+served from the store without being parsed; everything downstream
+(call graph assembly, interprocedural rules, suppression application)
+is recomputed from facts on every run, so a warm run's report is
+byte-identical to a cold one.
+
+Entries are invalidated by content hash — not mtime — so the cache
+survives checkouts, touch(1), and CI cache restores unharmed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .core import Finding, Suppression
+from .facts import (
+    FACTS_VERSION,
+    ModuleFacts,
+    module_facts_from_dict,
+    module_facts_to_dict,
+)
+
+_STORE_NAME = "facts.json"
+
+
+@dataclass
+class FileEntry:
+    """Everything extraction produced for one file."""
+
+    rel: str
+    content_hash: str
+    facts: ModuleFacts
+    raw_findings: List[Finding]
+    suppressions: List[Suppression]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rel": self.rel,
+            "content_hash": self.content_hash,
+            "facts": module_facts_to_dict(self.facts),
+            "raw_findings": [f.to_dict() for f in self.raw_findings],
+            "suppressions": [s.to_dict() for s in self.suppressions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FileEntry":
+        facts = data["facts"]
+        raw_findings = data["raw_findings"]
+        suppressions = data["suppressions"]
+        assert isinstance(facts, dict)
+        assert isinstance(raw_findings, list)
+        assert isinstance(suppressions, list)
+        return cls(
+            rel=str(data["rel"]),
+            content_hash=str(data["content_hash"]),
+            facts=module_facts_from_dict(facts),
+            raw_findings=[Finding.from_dict(f) for f in raw_findings],
+            suppressions=[Suppression.from_dict(s) for s in suppressions],
+        )
+
+
+class FactsCache:
+    """The on-disk store, loaded once per run and saved atomically."""
+
+    def __init__(self, directory: Path, rules_key: str) -> None:
+        self.directory = directory
+        self.rules_key = rules_key
+        self._entries: Dict[str, FileEntry] = {}
+        self._dirty = False
+        self._load()
+
+    @property
+    def store_path(self) -> Path:
+        return self.directory / _STORE_NAME
+
+    def _load(self) -> None:
+        try:
+            raw = self.store_path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError:
+            return  # torn/corrupt store: treat as cold
+        if not isinstance(doc, dict):
+            return
+        if doc.get("facts_version") != FACTS_VERSION:
+            return
+        if doc.get("rules_key") != self.rules_key:
+            return
+        files = doc.get("files")
+        if not isinstance(files, dict):
+            return
+        for path, entry in files.items():
+            if not isinstance(entry, dict):
+                continue
+            try:
+                self._entries[path] = FileEntry.from_dict(entry)
+            except (KeyError, TypeError, AssertionError):
+                continue  # one bad entry must not poison the store
+
+    def get(self, path: str, content_hash: str) -> Optional[FileEntry]:
+        entry = self._entries.get(path)
+        if entry is None or entry.content_hash != content_hash:
+            return None
+        return entry
+
+    def put(self, path: str, entry: FileEntry) -> None:
+        self._entries[path] = entry
+        self._dirty = True
+
+    def prune(self, live_paths: "Tuple[str, ...]") -> None:
+        """Drop entries for files no longer part of the analyzed set."""
+        dead = set(self._entries) - set(live_paths)
+        for path in dead:
+            del self._entries[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "facts_version": FACTS_VERSION,
+            "rules_key": self.rules_key,
+            "files": {
+                path: self._entries[path].to_dict()
+                for path in sorted(self._entries)
+            },
+        }
+        # Atomic replace: a killed run leaves the previous store intact.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=_STORE_NAME, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, sort_keys=True)
+            os.replace(tmp_name, self.store_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._dirty = False

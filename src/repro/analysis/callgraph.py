@@ -1,0 +1,377 @@
+"""Project call graph assembled from per-module facts.
+
+The graph is intentionally conservative (docs/callgraph.md spells out
+every limit): an edge exists only when a call target resolves to a
+*unique* analyzed function — via same-scope nested defs, same-module
+definitions, the module's imports (re-export chains are chased through
+``__init__`` modules), ``self.method`` on the defining class, or, for
+attribute calls on arbitrary objects, a method name defined by exactly
+one class in the whole project.  Ambiguous or external targets produce
+no edge, so the interprocedural rules under-approximate rather than
+guess.
+
+Three whole-program properties are computed by fixpoint over the
+edges:
+
+- ``loop_bearing``: the function contains a ``while True`` in its own
+  scope, or calls (transitively) one that does — the "can block
+  indefinitely" marker RPR008/RPR009 gate on;
+- ``tainted``: the function contains a nondeterminism source (RPR003's
+  sites, recorded everywhere by fact extraction), or calls
+  (transitively) one that does — with a witness chain to the root;
+- ``reachable``: on a path from a public solve entry point
+  (stop-accepting functions whose name matches the solve pattern, plus
+  ``run`` — the Backend protocol method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .facts import (
+    SOLVE_ENTRY_RE,
+    CallSite,
+    FunctionFacts,
+    ModuleFacts,
+)
+
+#: Resolution chases import re-export chains at most this deep.
+_MAX_CHASE = 8
+
+
+@dataclass(frozen=True)
+class Node:
+    """One analyzed function in the project graph."""
+
+    key: str  # "<module>:<local qname>", e.g. "repro.api.session:Session.decide"
+    module: str
+    rel: str
+    path: str
+    facts: FunctionFacts
+
+    @property
+    def display(self) -> str:
+        return f"{self.facts.qname} ({self.rel})"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call: ``caller`` invokes ``callee`` at ``site``."""
+
+    caller: str
+    callee: str
+    site: CallSite
+    nested: bool  # callee is a closure defined inside the caller
+
+
+class CallGraph:
+    """The assembled project graph plus the derived whole-program sets."""
+
+    def __init__(self, modules: Sequence[ModuleFacts]) -> None:
+        self.modules: Dict[str, ModuleFacts] = {}
+        for facts in modules:
+            self.modules[facts.module] = facts
+        self.nodes: Dict[str, Node] = {}
+        #: method name -> keys of every class method with that name
+        self._methods: Dict[str, List[str]] = {}
+        #: (module, class) -> method name -> key
+        self._class_methods: Dict[Tuple[str, str], Dict[str, str]] = {}
+        for facts in self.modules.values():
+            for func in facts.functions:
+                key = f"{facts.module}:{func.qname}"
+                self.nodes[key] = Node(
+                    key=key,
+                    module=facts.module,
+                    rel=facts.rel,
+                    path=facts.path,
+                    facts=func,
+                )
+                if func.class_name and not func.parent:
+                    self._methods.setdefault(func.name, []).append(key)
+                    self._class_methods.setdefault(
+                        (facts.module, func.class_name), {}
+                    )[func.name] = key
+        self.edges: List[Edge] = []
+        self.unresolved_calls = 0
+        self._build_edges()
+        self._by_caller: Dict[str, List[Edge]] = {}
+        for edge in self.edges:
+            self._by_caller.setdefault(edge.caller, []).append(edge)
+        self.loop_bearing: Set[str] = self._propagate(
+            {k for k, n in self.nodes.items() if n.facts.has_unbounded_loop}
+        )
+        self.taint_witness: Dict[str, str] = self._propagate_taint()
+        self.entry_points: Set[str] = {
+            key
+            for key, node in self.nodes.items()
+            if self._accepts_stop_effective(key)
+            and SOLVE_ENTRY_RE.search(node.facts.name)
+        }
+        self.reachable: Set[str] = self._forward_reachable(self.entry_points)
+
+    # ------------------------------------------------------------ queries
+    def tainted(self, key: str) -> bool:
+        return key in self.taint_witness
+
+    def callees_of(self, key: str) -> List[Edge]:
+        return self._by_caller.get(key, [])
+
+    def accepts_stop_effective(self, key: str) -> bool:
+        return self._accepts_stop_effective(key)
+
+    def accepts_deadline_effective(self, key: str) -> bool:
+        return self._accepts_effective(key, "accepts_deadline")
+
+    def _accepts_stop_effective(self, key: str) -> bool:
+        """The function (or an enclosing function whose scope it
+        captures) declares a stop parameter."""
+        return self._accepts_effective(key, "accepts_stop")
+
+    def _accepts_effective(self, key: str, attribute: str) -> bool:
+        node = self.nodes.get(key)
+        while node is not None:
+            if getattr(node.facts, attribute):
+                return True
+            if not node.facts.parent:
+                return False
+            node = self.nodes.get(f"{node.module}:{node.facts.parent}")
+        return False
+
+    # ----------------------------------------------------------- assembly
+    def _build_edges(self) -> None:
+        by_caller: Set[Tuple[str, str, int, int]] = set()
+        for facts in self.modules.values():
+            for func in facts.functions:
+                caller_key = f"{facts.module}:{func.qname}"
+                for site in func.calls:
+                    callee_key = self._resolve(facts, func, site)
+                    if callee_key is None:
+                        self.unresolved_calls += 1
+                        continue
+                    nested = self._is_nested_in(callee_key, caller_key)
+                    dedup = (caller_key, callee_key, site.line, site.col)
+                    if dedup in by_caller:
+                        continue
+                    by_caller.add(dedup)
+                    self.edges.append(
+                        Edge(
+                            caller=caller_key,
+                            callee=callee_key,
+                            site=site,
+                            nested=nested,
+                        )
+                    )
+
+    def _is_nested_in(self, callee_key: str, caller_key: str) -> bool:
+        callee = self.nodes.get(callee_key)
+        caller = self.nodes.get(caller_key)
+        if callee is None or caller is None or callee.module != caller.module:
+            return False
+        parent = callee.facts.parent
+        while parent:
+            if parent == caller.facts.qname:
+                return True
+            node = self.nodes.get(f"{callee.module}:{parent}")
+            if node is None:
+                return False
+            parent = node.facts.parent
+        return False
+
+    def _resolve(
+        self, facts: ModuleFacts, func: FunctionFacts, site: CallSite
+    ) -> Optional[str]:
+        if site.kind == "name":
+            return self._resolve_name(facts, func, site.target)
+        if site.kind == "self":
+            key = self._class_methods.get(
+                (facts.module, func.class_name), {}
+            ).get(site.target)
+            if key is not None:
+                return key
+            return self._resolve_unique_method(site.target)
+        if site.kind == "dotted":
+            return self._resolve_dotted(facts, site.target)
+        if site.kind == "method":
+            return self._resolve_unique_method(site.target)
+        return None
+
+    def _resolve_name(
+        self, facts: ModuleFacts, func: Optional[FunctionFacts], name: str
+    ) -> Optional[str]:
+        # Innermost first: a nested def shadows module-level names.
+        if func is not None:
+            prefix = func.qname
+            while prefix:
+                key = f"{facts.module}:{prefix}.{name}"
+                if key in self.nodes:
+                    return key
+                node = self.nodes.get(f"{facts.module}:{prefix}")
+                prefix = node.facts.parent if node is not None else ""
+        return self._resolve_symbol(facts.module, name, depth=0)
+
+    def _resolve_symbol(
+        self, module: str, name: str, depth: int
+    ) -> Optional[str]:
+        """``name`` looked up in ``module``: a function, a class
+        constructor, or an import chased transitively."""
+        if depth > _MAX_CHASE:
+            return None
+        facts = self.modules.get(module)
+        if facts is None:
+            return None
+        key = f"{module}:{name}"
+        if key in self.nodes:
+            return key
+        if name in facts.classes:
+            init_key = f"{module}:{name}.__init__"
+            return init_key if init_key in self.nodes else None
+        for imp in facts.imports:
+            if imp.name != name:
+                continue
+            if imp.attr:
+                resolved = self._resolve_symbol(imp.module, imp.attr, depth + 1)
+                if resolved is not None:
+                    return resolved
+                # `from a import b` can name a submodule a.b, not a symbol.
+                continue
+            return None  # bare module binding, not callable
+        return None
+
+    def _resolve_dotted(
+        self, facts: ModuleFacts, dotted: str
+    ) -> Optional[str]:
+        parts = dotted.split(".")
+        base, attr = parts[:-1], parts[-1]
+        # The chain's base may be a local alias for a module (via
+        # `import x.y as z` / `from x import y`) or a literal dotted
+        # module path; try the longest matching module prefix.
+        candidates: List[str] = []
+        for imp in facts.imports:
+            if imp.name == base[0]:
+                if imp.attr:
+                    candidates.append(".".join([imp.module, imp.attr, *base[1:]]))
+                else:
+                    candidates.append(".".join([imp.module, *base[1:]]))
+        candidates.append(".".join(base))
+        for candidate in candidates:
+            if candidate in self.modules:
+                resolved = self._resolve_symbol(candidate, attr, depth=0)
+                if resolved is not None:
+                    return resolved
+        # Not a module path (e.g. `solver.solve(...)` on a local object):
+        # fall back to unique-method-name resolution.
+        return self._resolve_unique_method(attr)
+
+    def _resolve_unique_method(self, name: str) -> Optional[str]:
+        candidates = self._methods.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -------------------------------------------------------- propagation
+    def _callers_index(self) -> Dict[str, List[Edge]]:
+        by_callee: Dict[str, List[Edge]] = {}
+        for edge in self.edges:
+            by_callee.setdefault(edge.callee, []).append(edge)
+        return by_callee
+
+    def _propagate(self, roots: Set[str]) -> Set[str]:
+        """Close ``roots`` under "caller of a member is a member"."""
+        by_callee = self._callers_index()
+        marked = set(roots)
+        work = list(roots)
+        while work:
+            current = work.pop()
+            for edge in by_callee.get(current, []):
+                if edge.caller not in marked:
+                    marked.add(edge.caller)
+                    work.append(edge.caller)
+        return marked
+
+    def _propagate_taint(self) -> Dict[str, str]:
+        """Taint closure with witness chains.
+
+        The witness of a root is its own nondet detail; the witness of
+        a propagated member is ``callee display -> callee's witness``,
+        so a finding can show the path to the root cause.
+        """
+        witness: Dict[str, str] = {}
+        for key, node in self.nodes.items():
+            if node.facts.nondet:
+                root = node.facts.nondet[0]
+                witness[key] = f"{root.detail} at {node.rel}:{root.line}"
+        by_callee = self._callers_index()
+        work = list(witness)
+        while work:
+            current = work.pop()
+            for edge in by_callee.get(current, []):
+                if edge.caller in witness:
+                    continue
+                callee_node = self.nodes[current]
+                witness[edge.caller] = (
+                    f"{callee_node.facts.qname} ({callee_node.rel}) -> "
+                    f"{witness[current]}"
+                )
+                work.append(edge.caller)
+        return witness
+
+    def _forward_reachable(self, roots: Set[str]) -> Set[str]:
+        by_caller: Dict[str, List[Edge]] = {}
+        for edge in self.edges:
+            by_caller.setdefault(edge.caller, []).append(edge)
+        seen = set(roots)
+        work = list(roots)
+        while work:
+            current = work.pop()
+            for edge in by_caller.get(current, []):
+                if edge.callee not in seen:
+                    seen.add(edge.callee)
+                    work.append(edge.callee)
+        return seen
+
+    # ------------------------------------------------------------- export
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic JSON document (the ``--graph`` export)."""
+        nodes = []
+        for key in sorted(self.nodes):
+            node = self.nodes[key]
+            nodes.append(
+                {
+                    "key": key,
+                    "rel": node.rel,
+                    "line": node.facts.line,
+                    "accepts_stop": node.facts.accepts_stop,
+                    "accepts_deadline": node.facts.accepts_deadline,
+                    "accepts_time_limit": node.facts.accepts_time_limit,
+                    "has_unbounded_loop": node.facts.has_unbounded_loop,
+                    "loop_bearing": key in self.loop_bearing,
+                    "tainted": key in self.taint_witness,
+                    "entry_point": key in self.entry_points,
+                    "reachable_from_entry": key in self.reachable,
+                }
+            )
+        edges = [
+            {
+                "caller": edge.caller,
+                "callee": edge.callee,
+                "line": edge.site.line,
+                "passes_stop": edge.site.passes_stop,
+                "passes_deadline": edge.site.passes_deadline,
+                "nested": edge.nested,
+            }
+            for edge in sorted(
+                self.edges, key=lambda e: (e.caller, e.site.line, e.callee)
+            )
+        ]
+        return {
+            "modules": sorted(self.modules),
+            "nodes": nodes,
+            "edges": edges,
+            "unresolved_calls": self.unresolved_calls,
+        }
+
+
+def build_call_graph(modules: Iterable[ModuleFacts]) -> CallGraph:
+    """Assemble the project graph from extracted (or cached) facts."""
+    return CallGraph(list(modules))

@@ -22,7 +22,21 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .callgraph import CallGraph
 
 #: The pseudo-rule used for problems with the suppression comments
 #: themselves (missing reason, unknown rule id).  Not suppressible.
@@ -31,6 +45,12 @@ META_RULE_ID = "RPR000"
 _ALLOW_RE = re.compile(
     r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_,\s-]+)\]\s*(?P<reason>.*)$"
 )
+
+
+def _as_int(value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"expected int, got {value!r}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -57,6 +77,17 @@ class Finding:
             "source": self.source_line,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            rule_id=str(data["rule"]),
+            path=str(data["path"]),
+            line=_as_int(data["line"]),
+            col=_as_int(data["col"]),
+            message=str(data["message"]),
+            source_line=str(data.get("source", "")),
+        )
+
 
 @dataclass(frozen=True)
 class Suppression:
@@ -69,6 +100,25 @@ class Suppression:
 
     def covers(self, rule_id: str) -> bool:
         return rule_id in self.rule_ids and bool(self.reason.strip())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "line": self.line,
+            "comment_line": self.comment_line,
+            "rule_ids": list(self.rule_ids),
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Suppression":
+        rule_ids = data["rule_ids"]
+        assert isinstance(rule_ids, list)
+        return cls(
+            line=_as_int(data["line"]),
+            comment_line=_as_int(data["comment_line"]),
+            rule_ids=tuple(str(r) for r in rule_ids),
+            reason=str(data["reason"]),
+        )
 
 
 def parse_suppressions(source: str) -> List[Suppression]:
@@ -423,7 +473,26 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule:
+    """One *interprocedural* invariant, checked over the project call
+    graph rather than a single file.
+
+    Subclasses set ``rule_id``/``title``/``rationale`` and implement
+    :meth:`check_project`, which receives the assembled
+    :class:`repro.analysis.callgraph.CallGraph` and yields findings
+    anchored at call sites in individual files.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check_project(self, graph: "CallGraph") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 _RULES: Dict[str, Rule] = {}
+_PROJECT_RULES: Dict[str, ProjectRule] = {}
 
 
 def register_rule(rule_class: Type["Rule"]) -> Type["Rule"]:
@@ -431,30 +500,70 @@ def register_rule(rule_class: Type["Rule"]) -> Type["Rule"]:
     rule = rule_class()
     if not rule.rule_id:
         raise ValueError("rule must define rule_id")
-    if rule.rule_id in _RULES:
+    if rule.rule_id in _RULES or rule.rule_id in _PROJECT_RULES:
         raise ValueError(f"duplicate rule id {rule.rule_id}")
     _RULES[rule.rule_id] = rule
     return rule_class
 
 
+def register_project_rule(rule_class: Type["ProjectRule"]) -> Type["ProjectRule"]:
+    """Class decorator adding an interprocedural rule to the registry."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError("rule must define rule_id")
+    if rule.rule_id in _RULES or rule.rule_id in _PROJECT_RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _PROJECT_RULES[rule.rule_id] = rule
+    return rule_class
+
+
 def all_rules() -> List[Rule]:
-    """Registered rules, ordered by id."""
+    """Registered per-file rules, ordered by id."""
     return [_RULES[k] for k in sorted(_RULES)]
 
 
+def all_project_rules() -> List[ProjectRule]:
+    """Registered interprocedural rules, ordered by id."""
+    return [_PROJECT_RULES[k] for k in sorted(_PROJECT_RULES)]
+
+
+def known_rule_ids() -> Set[str]:
+    """Every registered rule id, per-file and interprocedural."""
+    return set(_RULES) | set(_PROJECT_RULES)
+
+
 def get_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
-    """Look up rules by id (all of them when ``rule_ids`` is None)."""
+    """Look up per-file rules by id (all of them when ``rule_ids`` is
+    None).  Ids naming interprocedural rules are skipped here — use
+    :func:`select_rules` to split a mixed selection."""
     if rule_ids is None:
         return all_rules()
-    out = []
+    return select_rules(rule_ids)[0]
+
+
+def select_rules(
+    rule_ids: Optional[Sequence[str]] = None,
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    """Split a rule-id selection into (per-file rules, project rules).
+
+    ``None`` selects everything.  Unknown ids raise ``KeyError``.
+    """
+    if rule_ids is None:
+        return all_rules(), all_project_rules()
+    file_rules: List[Rule] = []
+    project_rules: List[ProjectRule] = []
     for rule_id in rule_ids:
         key = rule_id.strip().upper()
-        if key not in _RULES:
+        if key in _RULES:
+            file_rules.append(_RULES[key])
+        elif key in _PROJECT_RULES:
+            project_rules.append(_PROJECT_RULES[key])
+        else:
             raise KeyError(
-                f"unknown rule {rule_id!r}; known rules: {sorted(_RULES)}"
+                f"unknown rule {rule_id!r}; known rules: "
+                f"{sorted(known_rule_ids())}"
             )
-        out.append(_RULES[key])
-    return out
+    return file_rules, project_rules
 
 
 @dataclass
@@ -466,54 +575,92 @@ class FileReport:
     suppressed: List[Finding] = field(default_factory=list)
 
 
-def check_file(
-    source: SourceFile, rules: Sequence[Rule]
-) -> FileReport:
-    """Run ``rules`` over one file and apply its suppression comments."""
+def run_file_rules(source: SourceFile, rules: Sequence[Rule]) -> List[Finding]:
+    """Raw (pre-suppression) findings of the per-file ``rules``."""
     resolver = ScopeResolver(source)
-    report = FileReport(source=source)
     raw: List[Finding] = []
     for rule in rules:
         if not rule.applies_to(source.rel):
             continue
         raw.extend(rule.check(source, resolver))
-    known_ids = {rule.rule_id for rule in all_rules()}
-    by_line: Dict[int, List[Suppression]] = {}
-    for supp in source.suppressions:
-        by_line.setdefault(supp.line, []).append(supp)
-        # The suppression comment itself must be well-formed.
+    return raw
+
+
+def meta_findings(
+    suppressions: Sequence[Suppression],
+    path: str,
+    line_text: Callable[[int], str],
+    known_ids: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """RPR000 findings for malformed suppression comments themselves."""
+    if known_ids is None:
+        known_ids = known_rule_ids()
+    out: List[Finding] = []
+    for supp in suppressions:
         if not supp.reason.strip():
-            raw.append(
+            out.append(
                 Finding(
                     rule_id=META_RULE_ID,
-                    path=str(source.path),
+                    path=path,
                     line=supp.comment_line,
                     col=0,
                     message=(
                         "suppression without a reason: write "
                         "'# repro: allow[RULE-ID] why it is safe here'"
                     ),
-                    source_line=source.line_text(supp.comment_line).rstrip(),
+                    source_line=line_text(supp.comment_line).rstrip(),
                 )
             )
         for rule_id in supp.rule_ids:
             if rule_id not in known_ids and rule_id != META_RULE_ID:
-                raw.append(
+                out.append(
                     Finding(
                         rule_id=META_RULE_ID,
-                        path=str(source.path),
+                        path=path,
                         line=supp.comment_line,
                         col=0,
                         message=f"suppression names unknown rule {rule_id!r}",
-                        source_line=source.line_text(supp.comment_line).rstrip(),
+                        source_line=line_text(supp.comment_line).rstrip(),
                     )
                 )
+    return out
+
+
+def apply_suppressions(
+    raw: Sequence[Finding], suppressions: Sequence[Suppression]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split raw findings into (kept, suppressed) by the allow comments."""
+    by_line: Dict[int, List[Suppression]] = {}
+    for supp in suppressions:
+        by_line.setdefault(supp.line, []).append(supp)
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
     for finding in sorted(raw, key=Finding.sort_key):
-        suppressions = by_line.get(finding.line, [])
+        candidates = by_line.get(finding.line, [])
         if finding.rule_id != META_RULE_ID and any(
-            s.covers(finding.rule_id) for s in suppressions
+            s.covers(finding.rule_id) for s in candidates
         ):
-            report.suppressed.append(finding)
+            suppressed.append(finding)
         else:
-            report.findings.append(finding)
+            kept.append(finding)
+    return kept, suppressed
+
+
+def check_file(
+    source: SourceFile, rules: Sequence[Rule]
+) -> FileReport:
+    """Run ``rules`` over one file and apply its suppression comments."""
+    raw = run_file_rules(source, rules)
+    raw.extend(
+        meta_findings(
+            source.suppressions,
+            str(source.path),
+            source.line_text,
+            {rule.rule_id for rule in all_rules()} | set(_PROJECT_RULES),
+        )
+    )
+    report = FileReport(source=source)
+    report.findings, report.suppressed = apply_suppressions(
+        raw, source.suppressions
+    )
     return report

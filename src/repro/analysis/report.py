@@ -1,24 +1,60 @@
 """ Output formatting for the checker: a human diff-style rendering and
 a machine-readable JSON document (stable key order, sorted findings) so
 CI and tooling can consume the same run.
+
+The JSON document deliberately carries no timing or cache information:
+a warm (fully cached) run must be byte-identical to a cold one, so the
+stats line goes to stderr via :func:`format_stats` instead.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Protocol, Sequence
 
-from .core import FileReport, Finding, Rule
+from .core import Finding
 
 
-def _sorted_findings(reports: Sequence[FileReport]) -> List[Finding]:
+class RuleLike(Protocol):
+    """What the renderers need from a rule — satisfied by both
+    per-file :class:`Rule` and interprocedural :class:`ProjectRule`."""
+
+    rule_id: str
+    title: str
+    rationale: str
+
+
+class ReportLike(Protocol):
+    """One file's post-suppression results (``FileReport`` or
+    ``FileResult``)."""
+
+    @property
+    def findings(self) -> List[Finding]: ...
+
+    @property
+    def suppressed(self) -> List[Finding]: ...
+
+
+class StatsLike(Protocol):
+    files: int
+    extracted: int
+    cached: int
+    rules: int
+    findings: int
+    suppressed: int
+    seconds: float
+
+
+def _sorted_findings(reports: Sequence[ReportLike]) -> List[Finding]:
     out: List[Finding] = []
     for report in reports:
         out.extend(report.findings)
     return sorted(out, key=Finding.sort_key)
 
 
-def render_human(reports: Sequence[FileReport], rules: Sequence[Rule]) -> str:
+def render_human(
+    reports: Sequence[ReportLike], rules: Sequence[RuleLike]
+) -> str:
     """Diff-style rendering: path:line, the offending source line with a
     caret, the rule id and message."""
     lines: List[str] = []
@@ -41,7 +77,9 @@ def render_human(reports: Sequence[FileReport], rules: Sequence[Rule]) -> str:
     return "\n".join(lines)
 
 
-def render_json(reports: Sequence[FileReport], rules: Sequence[Rule]) -> str:
+def render_json(
+    reports: Sequence[ReportLike], rules: Sequence[RuleLike]
+) -> str:
     findings = _sorted_findings(reports)
     suppressed: List[Finding] = []
     for report in reports:
@@ -57,3 +95,14 @@ def render_json(reports: Sequence[FileReport], rules: Sequence[Rule]) -> str:
         "suppressed": [f.to_dict() for f in suppressed],
     }
     return json.dumps(doc, indent=2, sort_keys=False)
+
+
+def format_stats(stats: StatsLike) -> str:
+    """The one-line run summary printed to stderr by the CLI."""
+    return (
+        f"analyzed {stats.files} file(s) "
+        f"({stats.extracted} extracted, {stats.cached} cached) "
+        f"with {stats.rules} rule(s): "
+        f"{stats.findings} finding(s), {stats.suppressed} suppressed "
+        f"in {stats.seconds:.2f}s"
+    )

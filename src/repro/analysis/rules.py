@@ -147,17 +147,58 @@ def _loop_is_unbounded(node: ast.While) -> bool:
     return isinstance(test, ast.Constant) and bool(test.value)
 
 
-def _subtree_mentions_stop(node: ast.AST) -> bool:
+_STOP_NAME_RE = re.compile(r"stop|cancel", re.IGNORECASE)
+
+
+def _node_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _expr_mentions_stop_name(node: ast.AST) -> bool:
+    return any(
+        _STOP_NAME_RE.search(_node_name(sub))
+        for sub in ast.walk(node)
+        if _node_name(sub)
+    )
+
+
+def _is_none_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _subtree_polls_stop(node: ast.AST) -> bool:
+    """True when the loop body actually *consults* a stop/cancel
+    callable: calls it, guards a conditional on it, or forwards it into
+    a callee.  A bare mention (an unused alias, a string-adjacent name
+    like ``early_stop_rounds`` in an assignment target) does not count —
+    the loop must be able to exit because of it.
+    """
     for sub in ast.walk(node):
-        name = ""
-        if isinstance(sub, ast.Name):
-            name = sub.id
-        elif isinstance(sub, ast.Attribute):
-            name = sub.attr
-        elif isinstance(sub, ast.keyword) and sub.arg:
-            name = sub.arg
-        if "stop" in name or "cancel" in name:
-            return True
+        if isinstance(sub, ast.Call):
+            # Directly calling the stop callable: should_stop() / ctx.cancelled().
+            if _STOP_NAME_RE.search(_node_name(sub.func)):
+                return True
+            # Forwarding it into a callee that polls it for us:
+            # solve(..., should_stop=should_stop) / solve(f, should_stop).
+            for kw in sub.keywords:
+                if (
+                    kw.arg is not None
+                    and _STOP_NAME_RE.search(kw.arg)
+                    and not _is_none_constant(kw.value)
+                ):
+                    return True
+            if any(_STOP_NAME_RE.search(_node_name(arg)) for arg in sub.args):
+                return True
+        elif isinstance(sub, (ast.If, ast.IfExp, ast.While, ast.Assert)):
+            if _expr_mentions_stop_name(sub.test):
+                return True
+        elif isinstance(sub, ast.comprehension):
+            if any(_expr_mentions_stop_name(cond) for cond in sub.ifs):
+                return True
     return False
 
 
@@ -197,7 +238,7 @@ class CancellationRule(Rule):
             for node in ast.walk(func):
                 if not isinstance(node, ast.While) or not _loop_is_unbounded(node):
                     continue
-                if _subtree_mentions_stop(node):
+                if _subtree_polls_stop(node):
                     continue
                 yield source.finding(
                     self.rule_id,
@@ -205,13 +246,139 @@ class CancellationRule(Rule):
                     "unbounded `while True` in solve path "
                     f"`{func.name}` never polls should_stop/cancel: one "
                     "long query becomes uninterruptible (thread "
-                    "should_stop through and poll it in the loop)",
+                    "should_stop through and call or guard on it in the "
+                    "loop — a bare mention of a stop-ish name no longer "
+                    "counts)",
                 )
 
 
 # --------------------------------------------------------------------------
 # RPR003 — determinism
 # --------------------------------------------------------------------------
+
+
+#: Package-relative locations whose code feeds solver decisions — the
+#: deterministic scope shared by RPR003 (intra-file) and RPR010
+#: (interprocedural taint).
+DETERMINISTIC_SCOPE_PREFIXES = ("sat/", "symmetry/", "coloring/")
+DETERMINISTIC_SCOPE_FILES = ("api/pool.py",)
+
+
+def in_deterministic_scope(rel: str) -> bool:
+    """True when ``rel`` is in the deterministic (differential-oracle)
+    scope of the codebase."""
+    return rel.startswith(DETERMINISTIC_SCOPE_PREFIXES) or (
+        rel in DETERMINISTIC_SCOPE_FILES
+    )
+
+
+def _iter_order_sites(source: SourceFile) -> Iterator[Tuple[ast.expr, str]]:
+    """(iterable expression, context description) pairs whose
+    iteration order is observable."""
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.For):
+            yield node.iter, "for loop"
+        elif isinstance(node, ast.ListComp):
+            for gen in node.generators:
+                yield gen.iter, "list comprehension"
+        elif isinstance(node, ast.GeneratorExp):
+            parent = source.parent(node)
+            if (
+                isinstance(parent, ast.Call)
+                and _call_name(parent) in ORDER_INSENSITIVE_CALLS
+            ):
+                continue  # sum(... for x in s) etc. cannot leak order
+            for gen in node.generators:
+                yield gen.iter, "generator expression"
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("list", "tuple") and len(node.args) == 1:
+                yield node.args[0], f"{node.func.id}() conversion"
+
+
+def iter_nondet_sites(
+    source: SourceFile, resolver: ScopeResolver
+) -> Iterator[Tuple[ast.AST, str, str]]:
+    """Every nondeterminism source in the file, regardless of rule scope.
+
+    Yields ``(node, detail, message)`` triples: ``detail`` is a short
+    label used in interprocedural taint witnesses ("iterates set
+    `cands`", "`random.shuffle(...)`"), ``message`` the full RPR003
+    diagnostic.  :class:`DeterminismRule` reports these inside the
+    deterministic scope; fact extraction records them everywhere as
+    RPR010 taint roots.
+    """
+    seen: Set[Tuple[int, str]] = set()
+    for iterable, context in _iter_order_sites(source):
+        key = (id(iterable), context)
+        if key in seen:
+            continue
+        seen.add(key)
+        if resolver.expr_is_set(iterable):
+            yield (
+                iterable,
+                f"iterates set-typed `{_describe(iterable)}`",
+                f"{context} iterates set-typed value "
+                f"`{_describe(iterable)}` whose order is "
+                "hash/insertion-dependent; sort at the iteration site "
+                "(`sorted(...)`) so solver decisions are reproducible",
+            )
+        elif (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Attribute)
+            and iterable.func.attr == "keys"
+            and not iterable.args
+        ):
+            yield (
+                iterable,
+                f"iterates `{_describe(iterable)}`",
+                f"{context} iterates `{_describe(iterable)}`; iterate "
+                "`sorted(...)` instead so the order is pinned by value, "
+                "not by insertion history",
+            )
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                bad = [a.name for a in node.names if a.name != "Random"]
+                if bad:
+                    yield (
+                        node,
+                        f"`from random import {', '.join(bad)}`",
+                        f"`from random import {', '.join(bad)}` pulls in "
+                        "the shared unseeded RNG; construct a seeded "
+                        "random.Random instance instead",
+                    )
+            if node.module == "time":
+                bad = [a.name for a in node.names if a.name == "time"]
+                if bad:
+                    yield (
+                        node,
+                        "`from time import time`",
+                        "`from time import time` imports the wall clock "
+                        "into solver-decision code; use time.monotonic() "
+                        "for budgets and keep clocks out of decisions",
+                    )
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            value = node.func.value
+            if not isinstance(value, ast.Name):
+                continue
+            if value.id == "random" and node.func.attr != "Random":
+                yield (
+                    node,
+                    f"`random.{node.func.attr}(...)`",
+                    f"`random.{node.func.attr}(...)` uses the shared "
+                    "unseeded RNG: two runs (or two pool workers) "
+                    "diverge; use a seeded random.Random instance",
+                )
+            elif value.id == "time" and node.func.attr == "time":
+                yield (
+                    node,
+                    "`time.time()`",
+                    "`time.time()` is the wall clock (NTP slew, DST); "
+                    "use time.monotonic() for budgets and keep clocks "
+                    "out of solver decisions",
+                )
 
 
 @register_rule
@@ -228,121 +395,12 @@ class DeterminismRule(Rule):
         "runs or interpreter instances"
     )
 
-    _SCOPE_PREFIXES = ("sat/", "symmetry/", "coloring/")
-    _SCOPE_FILES = ("api/pool.py",)
-
     def applies_to(self, rel: str) -> bool:
-        return rel.startswith(self._SCOPE_PREFIXES) or rel in self._SCOPE_FILES
+        return in_deterministic_scope(rel)
 
     def check(self, source: SourceFile, resolver: ScopeResolver) -> Iterator[Finding]:
-        yield from self._check_set_iteration(source, resolver)
-        yield from self._check_random_and_clock(source)
-
-    # ------------------------------------------------- unordered iteration
-    def _iter_sites(
-        self, source: SourceFile
-    ) -> Iterator[Tuple[ast.expr, str]]:
-        """(iterable expression, context description) pairs whose
-        iteration order is observable."""
-        for node in ast.walk(source.tree):
-            if isinstance(node, ast.For):
-                yield node.iter, "for loop"
-            elif isinstance(node, ast.ListComp):
-                for gen in node.generators:
-                    yield gen.iter, "list comprehension"
-            elif isinstance(node, ast.GeneratorExp):
-                parent = source.parent(node)
-                if (
-                    isinstance(parent, ast.Call)
-                    and _call_name(parent) in ORDER_INSENSITIVE_CALLS
-                ):
-                    continue  # sum(... for x in s) etc. cannot leak order
-                for gen in node.generators:
-                    yield gen.iter, "generator expression"
-            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-                if node.func.id in ("list", "tuple") and len(node.args) == 1:
-                    yield node.args[0], f"{node.func.id}() conversion"
-
-    def _check_set_iteration(
-        self, source: SourceFile, resolver: ScopeResolver
-    ) -> Iterator[Finding]:
-        seen: Set[Tuple[int, str]] = set()
-        for iterable, context in self._iter_sites(source):
-            key = (id(iterable), context)
-            if key in seen:
-                continue
-            seen.add(key)
-            if resolver.expr_is_set(iterable):
-                yield source.finding(
-                    self.rule_id,
-                    iterable,
-                    f"{context} iterates set-typed value "
-                    f"`{_describe(iterable)}` whose order is "
-                    "hash/insertion-dependent; sort at the iteration site "
-                    "(`sorted(...)`) so solver decisions are reproducible",
-                )
-            elif (
-                isinstance(iterable, ast.Call)
-                and isinstance(iterable.func, ast.Attribute)
-                and iterable.func.attr == "keys"
-                and not iterable.args
-            ):
-                yield source.finding(
-                    self.rule_id,
-                    iterable,
-                    f"{context} iterates `{_describe(iterable)}`; iterate "
-                    "`sorted(...)` instead so the order is pinned by value, "
-                    "not by insertion history",
-                )
-
-    # ---------------------------------------------------- random + clocks
-    def _check_random_and_clock(self, source: SourceFile) -> Iterator[Finding]:
-        random_aliases = {"random"}
-        time_aliases = {"time"}
-        for node in ast.walk(source.tree):
-            if isinstance(node, ast.ImportFrom):
-                if node.module == "random":
-                    bad = [a.name for a in node.names if a.name != "Random"]
-                    if bad:
-                        yield source.finding(
-                            self.rule_id,
-                            node,
-                            f"`from random import {', '.join(bad)}` pulls in "
-                            "the shared unseeded RNG; construct a seeded "
-                            "random.Random instance instead",
-                        )
-                if node.module == "time":
-                    bad = [a.name for a in node.names if a.name == "time"]
-                    if bad:
-                        yield source.finding(
-                            self.rule_id,
-                            node,
-                            "`from time import time` imports the wall clock "
-                            "into solver-decision code; use time.monotonic() "
-                            "for budgets and keep clocks out of decisions",
-                        )
-            elif isinstance(node, ast.Call) and isinstance(
-                node.func, ast.Attribute
-            ):
-                value = node.func.value
-                if not isinstance(value, ast.Name):
-                    continue
-                if value.id in random_aliases and node.func.attr != "Random":
-                    yield source.finding(
-                        self.rule_id,
-                        node,
-                        f"`random.{node.func.attr}(...)` uses the shared "
-                        "unseeded RNG: two runs (or two pool workers) "
-                        "diverge; use a seeded random.Random instance",
-                    )
-                elif value.id in time_aliases and node.func.attr == "time":
-                    yield source.finding(
-                        self.rule_id,
-                        node,
-                        "`time.time()` is the wall clock (NTP slew, DST); "
-                        "use time.monotonic() for budgets and keep clocks "
-                        "out of solver decisions",
-                    )
+        for node, _detail, message in iter_nondet_sites(source, resolver):
+            yield source.finding(self.rule_id, node, message)
 
 
 # --------------------------------------------------------------------------

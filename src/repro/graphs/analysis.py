@@ -73,7 +73,7 @@ def connected_components(graph: Graph) -> List[List[int]]:
         while queue:
             v = queue.popleft()
             component.append(v)
-            for w in graph.neighbors(v):
+            for w in sorted(graph.neighbors(v)):
                 if not seen[w]:
                     seen[w] = True
                     queue.append(w)

@@ -78,7 +78,7 @@ def dsatur(graph: Graph) -> Tuple[Dict[int, int], int]:
         while color in used:
             color += 1
         coloring[v] = color
-        for w in graph.neighbors(v):
+        for w in sorted(graph.neighbors(v)):
             if w not in coloring and color not in neighbor_colors[w]:
                 neighbor_colors[w].add(color)
                 heapq.heappush(heap, (-len(neighbor_colors[w]), -graph.degree(w), w))

@@ -1,0 +1,9 @@
+"""RPR008 positive: the facade accepts the stop callback but drops it
+at the module boundary — the engine's loop becomes uncancellable while
+both files look fine in isolation."""
+
+from repro.sat.engine import search
+
+
+def solve_formula(formula, should_stop=None):
+    return search(formula)  # should_stop never forwarded

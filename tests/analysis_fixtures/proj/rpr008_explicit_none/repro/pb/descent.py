@@ -1,0 +1,8 @@
+"""RPR008 positive: passing ``should_stop=None`` is an explicit drop,
+not a forward — the subtree below is still uncancellable."""
+
+from repro.sat.engine import probe
+
+
+def run_descent(formula, should_stop=None):
+    return probe(formula, should_stop=None)

@@ -1,0 +1,13 @@
+"""Loop-bearing probe that polls its stop callback (per-file clean)."""
+
+
+def probe(formula, should_stop=None):
+    while True:
+        if should_stop is not None and should_stop():
+            return None
+        if advance(formula):
+            return formula
+
+
+def advance(formula):
+    return True

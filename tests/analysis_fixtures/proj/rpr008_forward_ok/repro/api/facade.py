@@ -1,0 +1,8 @@
+"""RPR008 negative: the facade forwards the callback, so cancellation
+flows through the module boundary."""
+
+from repro.sat.engine import search
+
+
+def solve_formula(formula, should_stop=None):
+    return search(formula, should_stop=should_stop)

@@ -1,0 +1,17 @@
+"""RPR008 negative: a nested function receives the callback through
+its default binding (closure-style), so calling it bare is not a drop."""
+
+
+def solve_locally(formula, should_stop=None):
+    def inner(should_stop=should_stop):
+        while True:
+            if should_stop is not None and should_stop():
+                return None
+            if advance(formula):
+                return formula
+
+    return inner()
+
+
+def advance(formula):
+    return True

@@ -1,0 +1,9 @@
+"""RPR008 positive through a re-export: the callee is imported from
+the package ``__init__``, so resolution must chase the re-export chain
+to find the loop-bearing engine function."""
+
+from repro.sat import search
+
+
+def solve_formula(formula, should_stop=None):
+    return search(formula)

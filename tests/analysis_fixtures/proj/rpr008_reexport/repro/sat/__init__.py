@@ -1,0 +1,5 @@
+"""Package façade re-exporting the engine's entry point."""
+
+from .engine import search
+
+__all__ = ["search"]

@@ -1,0 +1,15 @@
+"""Loop-bearing engine that polls its stop callback (per-file clean)."""
+
+
+def search(formula, should_stop=None):
+    best = None
+    while True:
+        if should_stop is not None and should_stop():
+            return best
+        best, done = step(formula, best)
+        if done:
+            return best
+
+
+def step(formula, best):
+    return best, True

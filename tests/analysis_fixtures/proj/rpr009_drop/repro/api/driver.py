@@ -1,0 +1,8 @@
+"""RPR009 positive: the driver holds a deadline but calls the blocking
+bound without passing any time budget — the callee can outlive it."""
+
+from repro.graphs.bounds import lower_bound
+
+
+def minimize_colors(graph, deadline):
+    return lower_bound(graph)

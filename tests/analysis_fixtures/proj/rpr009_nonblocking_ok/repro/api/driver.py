@@ -1,0 +1,8 @@
+"""RPR009 negative: the callee accepts a deadline but is not
+loop-bearing, so not passing one cannot leave it running unbounded."""
+
+from repro.graphs.bounds import estimate
+
+
+def minimize_colors(graph, deadline):
+    return estimate(graph)

@@ -1,0 +1,8 @@
+"""RPR009 negative: the remaining slice of the deadline flows into the
+blocking callee as its time limit."""
+
+from repro.graphs.bounds import lower_bound
+
+
+def minimize_colors(graph, deadline):
+    return lower_bound(graph, time_limit=deadline.remaining())

@@ -1,0 +1,13 @@
+"""A blocking bound computation that can accept a time limit."""
+
+
+def lower_bound(graph, time_limit=None):
+    best = 0
+    while True:
+        improved, best = tighten(graph, best)
+        if not improved:
+            return best
+
+
+def tighten(graph, best):
+    return False, best

@@ -1,0 +1,8 @@
+"""RPR009 positive: the callee blocks only transitively (its loop is
+one call deeper), but dropping the deadline is just as unbounded."""
+
+from repro.graphs.refine import refine
+
+
+def optimize_layout(graph, deadline):
+    return refine(graph)

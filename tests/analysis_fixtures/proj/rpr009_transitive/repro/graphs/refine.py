@@ -1,0 +1,16 @@
+"""A budget-aware entry whose blocking loop hides one call deeper —
+``refine`` is loop-bearing only transitively."""
+
+
+def refine(graph, budget=None):
+    return pump(graph)
+
+
+def pump(graph):
+    while True:
+        if not shrink(graph):
+            return graph
+
+
+def shrink(graph):
+    return False

@@ -1,0 +1,8 @@
+"""A clean-looking middle module: tainted only transitively."""
+
+from repro.graphs.clock import stamp
+
+
+def annotate(info):
+    info["at"] = stamp()
+    return info

@@ -1,0 +1,8 @@
+"""RPR010 positive: the nondeterminism is two hops away; the witness
+chain in the finding walks annotate -> stamp -> time.time()."""
+
+from repro.graphs.meta import annotate
+
+
+def orbit_info(info):
+    return annotate(info)

@@ -1,0 +1,8 @@
+"""RPR010 positive: deterministic-scope code imports hash-order
+nondeterminism from a helper module RPR003 cannot see."""
+
+from repro.graphs.pick import pick_first
+
+
+def choose_branch_vertex(graph, candidates):
+    return pick_first(candidates)

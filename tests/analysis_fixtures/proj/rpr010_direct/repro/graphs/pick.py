@@ -1,0 +1,8 @@
+"""A helper outside the deterministic scope whose result depends on
+set iteration order — clean per-file, but a taint root."""
+
+
+def pick_first(items):
+    for value in set(items):
+        return value
+    return None

@@ -1,0 +1,10 @@
+"""A helper using a *seeded* RNG instance: reproducible, no taint."""
+
+import random
+
+
+def shuffled(items, seed):
+    rng = random.Random(seed)
+    out = list(items)
+    rng.shuffle(out)
+    return out

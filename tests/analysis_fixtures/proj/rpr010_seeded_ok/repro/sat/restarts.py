@@ -1,0 +1,7 @@
+"""RPR010 negative: seeded randomness is deterministic by construction."""
+
+from repro.graphs.shuffle import shuffled
+
+
+def restart_order(variables, seed):
+    return shuffled(variables, seed)

@@ -1,0 +1,7 @@
+"""RPR010 negative: the cross-module helper is order-deterministic."""
+
+from repro.graphs.pick import pick_first
+
+
+def choose_branch_vertex(graph, candidates):
+    return pick_first(candidates)

@@ -1,0 +1,7 @@
+"""A helper that sorts before iterating: deterministic, no taint."""
+
+
+def pick_first(items):
+    for value in sorted(set(items)):
+        return value
+    return None

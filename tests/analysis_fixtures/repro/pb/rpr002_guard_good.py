@@ -1,0 +1,26 @@
+"""RPR002 negatives for the tightened poll check: the call shape and
+the conditional-guard shape both count as genuine polling."""
+
+
+def solve_with_callback(formula, should_stop=None):
+    best = None
+    while True:
+        if should_stop is not None and should_stop():  # call shape
+            return best
+        best, done = improve(formula, best)
+        if done:
+            return best
+
+
+def solve_with_flag(formula, cancel_flag=False):
+    best = None
+    while True:
+        if cancel_flag:  # guard shape: no call, but the loop can exit on it
+            return best
+        best, done = improve(formula, best)
+        if done:
+            return best
+
+
+def improve(formula, best):
+    return best, True

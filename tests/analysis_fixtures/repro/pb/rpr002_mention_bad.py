@@ -1,0 +1,24 @@
+"""RPR002 positives for the tightened poll check: both loops *mention*
+a stop-ish name but neither calls it, guards on it, nor forwards it —
+the loop cannot exit because of it, so the mention must not count."""
+
+
+def solve_rounds(formula, should_stop=None):
+    best = None
+    while True:
+        _unused = should_stop  # bare alias: not a poll
+        best, done = improve(formula, best)
+        if done:
+            return best
+
+
+def solve_epochs(formula):
+    early_stop_rounds = 0
+    while True:
+        early_stop_rounds += 1  # stop-ish *name*, nothing stop-ish about it
+        if improve(formula, None)[1]:
+            return early_stop_rounds
+
+
+def improve(formula, best):
+    return best, True

@@ -24,12 +24,15 @@ import pytest
 from repro.analysis import (
     META_RULE_ID,
     SourceFile,
+    all_project_rules,
     all_rules,
     check_file,
     get_rules,
+    known_rule_ids,
     package_rel,
     parse_suppressions,
     run,
+    select_rules,
 )
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
@@ -51,6 +54,7 @@ def rule_ids_found(rel_path: str) -> list:
 POSITIVE_FIXTURES = [
     ("repro/coloring/rpr001_bad.py", "RPR001", 3),
     ("repro/pb/rpr002_bad.py", "RPR002", 1),
+    ("repro/pb/rpr002_mention_bad.py", "RPR002", 2),
     ("repro/symmetry/rpr003_bad.py", "RPR003", 7),
     ("repro/api/rpr004_bad.py", "RPR004", 2),
     ("repro/coloring/rpr005_bad.py", "RPR005", 1),
@@ -62,6 +66,7 @@ NEGATIVE_FIXTURES = [
     "repro/coloring/rpr001_good.py",
     "repro/sat/rpr001_exempt.py",
     "repro/pb/rpr002_good.py",
+    "repro/pb/rpr002_guard_good.py",
     "repro/symmetry/rpr003_good.py",
     "repro/graphs/rpr003_out_of_scope.py",
     "repro/api/rpr004_good.py",
@@ -166,6 +171,21 @@ def test_rule_registry_is_complete():
         "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007",
     ]
     assert all(rule.title and rule.rationale for rule in all_rules())
+    project_ids = [rule.rule_id for rule in all_project_rules()]
+    assert project_ids == ["RPR008", "RPR009", "RPR010"]
+    assert all(rule.title and rule.rationale for rule in all_project_rules())
+    assert known_rule_ids() == {
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007",
+        "RPR008", "RPR009", "RPR010",
+    }
+
+
+def test_select_rules_splits_file_and_project_rules():
+    file_rules, project_rules = select_rules(["RPR002", "RPR010"])
+    assert [r.rule_id for r in file_rules] == ["RPR002"]
+    assert [r.rule_id for r in project_rules] == ["RPR010"]
+    with pytest.raises(KeyError):
+        select_rules(["RPR999"])
 
 
 # --------------------------------------------------------------------------
