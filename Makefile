@@ -16,7 +16,10 @@
 # stdlib, always available) over src/scripts/benchmarks/examples with
 # the incremental facts cache, exports the project call graph to
 # callgraph.json, and prints a one-line timing/stats summary to
-# stderr; `make typecheck` runs the typed-core mypy gate (mypy.ini).
+# stderr; `make typecheck` runs the typed-core mypy gate (mypy.ini);
+# `make docs-check` runs the docs gate (scripts/check_docs.py — pure
+# stdlib: intra-repo Markdown link/anchor integrity plus the
+# public-API docstring-coverage floor).
 #
 # Tools that offline dev environments may lack (ruff, pytest-cov,
 # mypy) are skipped with a notice locally but are hard failures when
@@ -32,8 +35,8 @@ HYPOTHESIS_PROFILE ?= ci
 # nightly CI passes a fresh seed (`make chaos-smoke CHAOS_SEED=$RANDOM`).
 CHAOS_SEED ?= 0
 
-.PHONY: test lint analyze typecheck bench-smoke bench bench-json \
-	bench-check batch-smoke coverage fuzz-smoke chaos-smoke
+.PHONY: test lint analyze typecheck docs-check bench-smoke bench \
+	bench-json bench-check batch-smoke coverage fuzz-smoke chaos-smoke
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -73,6 +76,9 @@ typecheck:
 	else \
 		echo "mypy not installed; skipping typecheck (CI installs it)"; \
 	fi
+
+docs-check:
+	$(PYTHON) scripts/check_docs.py
 
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \

@@ -241,6 +241,75 @@ def test_incremental_descent_stays_incremental(bench_json):
     )
 
 
+def test_tracing_overhead(bench_json):
+    """The observability contract: tracing off costs nothing measurable.
+
+    Three interleaved passes over the myciel4 binary descent, min of
+    ``reps`` wall times each (min-of-reps is the stable estimator on a
+    shared runner): two untraced passes — their ratio is the *disabled*
+    overhead, i.e. the cost of the ``tracer is None`` branch the hot
+    loop always pays, gated at <= 5% — and one pass under an installed
+    :func:`repro.obs.tracing` sink (*enabled* overhead, gated loosely;
+    it buys the full event stream).  The conflict counts must be
+    identical across all three modes: observability must never perturb
+    the search.  The record count of the enabled pass is deterministic
+    at a fixed input, so the bench gate pins it exactly — a hook that
+    silently stops emitting (or double-emits) fails ``make bench-check``
+    even though every ratio would still look fine.
+    """
+    import io
+    import time
+
+    from repro.obs import read_trace, tracing
+
+    graph = mycielski_graph(4)
+
+    def descend():
+        return run_descent(
+            "myciel4", graph, strategy="binary",
+            incremental=True, time_limit=120,
+        )
+
+    reps = 5
+    best = {"baseline": float("inf"), "disabled": float("inf"),
+            "enabled": float("inf")}
+    conflicts = {}
+    trace_records = 0
+    for _ in range(reps):
+        for mode in ("baseline", "disabled", "enabled"):
+            sink = io.BytesIO()
+            t0 = time.perf_counter()
+            if mode == "enabled":
+                with tracing(sink):
+                    record = descend()
+            else:
+                record = descend()
+            wall = time.perf_counter() - t0
+            best[mode] = min(best[mode], wall)
+            conflicts.setdefault(mode, record.conflicts)
+            assert record.conflicts == conflicts[mode], mode
+            if mode == "enabled":
+                trace_records = len(read_trace(sink.getvalue()).records)
+    assert record.status == "OPTIMAL" and record.chromatic_number == 5
+    assert conflicts["baseline"] == conflicts["disabled"] == conflicts["enabled"], (
+        "tracing perturbed the search", conflicts)
+    assert trace_records > conflicts["enabled"]  # every conflict + lifecycle
+    disabled_ratio = best["disabled"] / best["baseline"]
+    enabled_ratio = best["enabled"] / best["baseline"]
+    bench_json.add(
+        "tracing-overhead",
+        baseline_seconds=round(best["baseline"], 4),
+        disabled_seconds=round(best["disabled"], 4),
+        enabled_seconds=round(best["enabled"], 4),
+        disabled_overhead_ratio=round(disabled_ratio, 3),
+        enabled_overhead_ratio=round(enabled_ratio, 3),
+        trace_records=trace_records,
+        conflicts=conflicts["enabled"],
+    )
+    print(f"\n  tracing overhead: disabled {disabled_ratio:.3f}x, "
+          f"enabled {enabled_ratio:.3f}x ({trace_records} records)")
+
+
 def test_budgeted_descent_degrades_verifiably(bench_json):
     """Anytime-degradation guard: an expired budget returns work, not None.
 

@@ -81,6 +81,19 @@ GATES = [
      "num_colors", "eq", 0.0),
     ("solver_micro", {"instance": "descent-budgeted-myciel4"},
      "degraded", "eq", 0.0),
+    # Observability (docs/observability.md): the tracer hook the hot
+    # loop always pays must stay free when no tracer is installed
+    # (committed baseline is normalized to 1.0, so the gate reads
+    # "disabled overhead <= 5%"); an installed tracer stays bounded;
+    # and the event-stream size tracks the (bounded) conflict count —
+    # a hook that silently stops emitting or double-emits fails here
+    # even though every ratio would still look fine.
+    ("solver_micro", {"instance": "tracing-overhead"},
+     "disabled_overhead_ratio", "max", 0.05),
+    ("solver_micro", {"instance": "tracing-overhead"},
+     "enabled_overhead_ratio", "max", 0.50),
+    ("solver_micro", {"instance": "tracing-overhead"},
+     "trace_records", "eq", 0.25),
     # Preprocessing counters are exact at fixed inputs.
     ("preprocessing", {"instance": "preprocess-book-encoding"},
      "units", "eq", 0.0),

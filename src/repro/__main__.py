@@ -5,9 +5,11 @@ Usage::
     python -m repro color graph.col [--solver pbs2] [--sbp nu+sc]
         [--instance-dependent] [--k 20] [--time-limit 60]
         [--no-preprocess] [--no-reduce] [--no-incremental]
+        [--trace run.trace] [--metrics metrics.json]
     python -m repro chromatic graph.col [--strategy linear|binary]
         [--no-incremental] [--no-split-components] [--sbp nu]
-        [--time-limit 60]
+        [--time-limit 60] [--trace run.trace] [--metrics metrics.json]
+    python -m repro.obs report run.trace [--json]
     python -m repro stats graph.col
     python -m repro detect graph.col --k 8
     python -m repro backends
@@ -28,6 +30,11 @@ statistics of the encoded instance; ``backends`` lists the registered
 backend table.  ``batch`` fans a JSON/JSONL manifest of tasks across a
 worker pool (:mod:`repro.batch`) and streams one JSONL record per task
 in manifest order, plus an aggregate summary.
+
+``--trace FILE`` records a binary solver event trace
+(``docs/TRACE_FORMAT.md``; render with ``python -m repro.obs report``)
+and ``--metrics FILE`` dumps the run's metrics-registry snapshot as
+sorted JSON — see :mod:`repro.obs` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -90,13 +97,50 @@ def _pipeline_from_args(args, backend: str) -> Pipeline:
     )
 
 
+def _run_observed(args, pipeline, problem):
+    """Run the pipeline, honouring ``--trace`` / ``--metrics`` if given.
+
+    Both flags are opt-in observability (:mod:`repro.obs`): ``--trace``
+    streams the binary solver event trace to FILE, ``--metrics`` dumps
+    the run-scoped metrics registry as sorted JSON.  Without either the
+    run is byte-for-byte what it always was.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is None and metrics_path is None:
+        return pipeline.run(problem)
+
+    from .obs import scoped_registry, tracing
+
+    def run_traced():
+        if trace_path is not None:
+            with tracing(trace_path):
+                return pipeline.run(problem)
+        return pipeline.run(problem)
+
+    if metrics_path is not None:
+        with scoped_registry() as registry:
+            result = run_traced()
+        with open(metrics_path, "w") as fh:
+            fh.write(registry.to_json())
+            fh.write("\n")
+        print(f"metrics written to {metrics_path}", file=sys.stderr)
+    else:
+        result = run_traced()
+    if trace_path is not None:
+        print(f"trace written to {trace_path} "
+              f"(render: python -m repro.obs report {trace_path})",
+              file=sys.stderr)
+    return result
+
+
 def cmd_color(args) -> int:
     graph = _load(args.graph)
     k = args.k
     if k is None:
         _, k = dsatur(graph)
     pipeline = _pipeline_from_args(args, backend=args.solver)
-    result = pipeline.run(BudgetedOptimize(graph, k))
+    result = _run_observed(args, pipeline, BudgetedOptimize(graph, k))
     print(f"status:           {result.status}")
     if result.num_colors is not None:
         print(f"colors used:      {result.num_colors}")
@@ -126,7 +170,7 @@ def cmd_chromatic(args) -> int:
     graph = _load(args.graph)
     backend = "cdcl-incremental" if args.incremental else "cdcl-scratch"
     pipeline = _pipeline_from_args(args, backend=backend)
-    result = pipeline.run(ChromaticProblem(graph))
+    result = _run_observed(args, pipeline, ChromaticProblem(graph))
     print(f"status:           {result.status}")
     print(f"chromatic number: {result.chromatic_number}"
           + ("" if result.status == "OPTIMAL" else " (upper bound; not proved)"))
@@ -278,6 +322,12 @@ def main(argv=None) -> int:
         "--incremental", default=True, action=argparse.BooleanOptionalAction,
         help="run binary-search bound probes on one persistent solver "
              "with selector-guarded bound constraints")
+    p_color.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a binary solver event trace to FILE "
+                              "(render: python -m repro.obs report FILE)")
+    p_color.add_argument("--metrics", default=None, metavar="FILE",
+                         help="write the run's metrics snapshot to FILE "
+                              "as sorted JSON")
     p_color.set_defaults(func=cmd_color)
 
     p_chrom = sub.add_parser(
@@ -316,6 +366,12 @@ def main(argv=None) -> int:
              "per-component Session pool (one persistent solver per "
              "component); --no-split-components keeps one solver over "
              "the whole kernel")
+    p_chrom.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a binary solver event trace to FILE "
+                              "(render: python -m repro.obs report FILE)")
+    p_chrom.add_argument("--metrics", default=None, metavar="FILE",
+                         help="write the run's metrics snapshot to FILE "
+                              "as sorted JSON")
     p_chrom.set_defaults(func=cmd_chromatic)
 
     p_detect = sub.add_parser("detect", help="symmetry statistics of the encoding")

@@ -34,6 +34,8 @@ from ..graphs.analysis import connected_components
 from ..graphs.cliques import clique_lower_bound
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
+from ..obs.hooks import active_tracer
+from ..obs.metrics import get_registry
 from ..resilience import Deadline
 from ..sat.preprocessing import SimplifyStats, simplify_formula
 from ..sat.result import FEASIBLE, OPTIMAL, SAT, UNKNOWN, UNSAT
@@ -135,6 +137,17 @@ class Pipeline:
             result.degraded = True
             if result.upper_bound is None:
                 result.upper_bound = result.num_colors
+        registry = get_registry()
+        registry.inc("pipeline_runs_total",
+                     backend=backend.name, status=result.status)
+        if result.degraded:
+            registry.inc("pipeline_degraded_total")
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.degraded("pipeline", result.status)
+        for stage in result.stages:
+            registry.observe_seconds(
+                "pipeline_stage_seconds", stage.seconds, stage=stage.name)
         result.provenance = Provenance(
             problem=problem.kind,
             backend=backend.name,

@@ -37,6 +37,8 @@ from ..coloring.solve import PipelineInfo
 from ..coloring.verify import check_proper
 from ..graphs.cliques import clique_lower_bound
 from ..graphs.graph import Graph
+from ..obs.hooks import active_tracer
+from ..obs.metrics import get_registry
 from ..resilience import Deadline
 from ..sat.result import FEASIBLE, OPTIMAL, SAT, UNKNOWN, UNSAT, SolverStats
 from .config import PipelineConfig
@@ -218,18 +220,27 @@ class ComponentSessionPool:
             )
 
         deadline = Deadline.after(time_limit)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.pool_begin(len(self.components))
+        registry = get_registry()
+        registry.inc("pool_runs_total")
+        registry.observe("pool_components", len(self.components))
         # Budget split: weighted by component size (descent cost scales
         # with vertices), floored so a tiny component still gets a
         # searchable slice instead of being starved by a giant sibling.
         weights = [float(sub.num_vertices) for sub in self._subgraphs]
 
         def solve_component(index: int, limit: Optional[float]) -> Result:
+            if tracer is not None:
+                tracer.component_begin(
+                    index, self._subgraphs[index].num_vertices)
             self._ctx.emit(
                 "pool",
                 f"[component {index}] descent on "
                 f"{self._subgraphs[index].num_vertices} vertices",
             )
-            return self.sessions[index].chromatic(
+            result = self.sessions[index].chromatic(
                 strategy=strategy,
                 time_limit=limit,
                 max_colors=max_colors,
@@ -237,6 +248,10 @@ class ComponentSessionPool:
                 # recombined max — no component descends past it.
                 lower_bound=self.clique_bound,
             )
+            if tracer is not None:
+                tracer.component_end(index, result.status, result.num_colors)
+            registry.inc("pool_component_total", status=result.status)
+            return result
 
         # Sessions report *cumulative* stats; snapshot them so a reused
         # pool attributes only this call's work to this call's Result.
@@ -275,7 +290,10 @@ class ComponentSessionPool:
                     # whole answer — don't pay for the rest (their
                     # traces are simply absent from the merged result).
                     break
-        return self._merge(results, baselines, info, reduce_stage, t0)
+        merged = self._merge(results, baselines, info, reduce_stage, t0)
+        if tracer is not None:
+            tracer.pool_end(merged.status, merged.num_colors)
+        return merged
 
     def _merge(
         self,

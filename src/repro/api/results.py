@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..coloring.solve import PipelineInfo
+from ..obs.hooks import active_tracer
 from ..resilience import Deadline
 from ..resilience.faults import fire as _fire_fault
 from ..sat.result import FEASIBLE, OPTIMAL, SAT, UNSAT, SolverStats
@@ -70,6 +71,9 @@ class RunContext:
     ) -> None:
         """Deliver a progress event, if a callback is attached."""
         _fire_fault(f"stage:{stage}", message)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.stage(stage)
         if self.on_progress is not None:
             self.on_progress(ProgressEvent(stage, message, k=k, status=status))
 

@@ -32,10 +32,20 @@ from ..coloring.verify import check_proper
 from ..graphs.cliques import clique_lower_bound
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
+from ..obs.hooks import active_tracer
+from ..obs.metrics import get_registry
 from ..resilience import Deadline
 from ..sat.result import FEASIBLE, OPTIMAL, SAT, UNKNOWN, UNSAT
 from .config import PipelineConfig
 from .results import ProgressEvent, Result, RunContext, StageStat
+
+
+def _note_deadline_expired() -> None:
+    """Record a session-level budget expiry (traced event + counter)."""
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.deadline_expired("session")
+    get_registry().inc("deadline_expired_total", where="session")
 
 
 class Session:
@@ -182,6 +192,7 @@ class Session:
             k, time_limit=time_limit, should_stop=self._should_stop()
         )
         self.queries.append((k, status))
+        get_registry().inc("session_queries_total", status=status)
         self._ctx.emit("query", f"K={k}: {status}", k=k, status=status)
         if coloring is not None:
             self._best_coloring = coloring
@@ -252,6 +263,10 @@ class Session:
             degraded = status == SAT
             if degraded:
                 status = FEASIBLE
+                tracer = active_tracer()
+                if tracer is not None:
+                    tracer.degraded("session", FEASIBLE)
+                get_registry().inc("session_degraded_total")
             upper = None
             if coloring:
                 check_proper(self.graph, coloring)
@@ -271,6 +286,7 @@ class Session:
             k = ub - 1
             while k >= lb:
                 if deadline.expired():
+                    _note_deadline_expired()
                     return finish(SAT, best)
                 if self._ctx.cancelled():
                     return finish(SAT, best, cancelled=True)
@@ -281,6 +297,7 @@ class Session:
                 )
                 queries.append((k, status))
                 self.queries.append((k, status))
+                get_registry().inc("session_queries_total", status=status)
                 self._ctx.emit("query", f"K={k}: {status}", k=k, status=status)
                 if status == UNKNOWN:
                     return finish(SAT, best, cancelled=self._ctx.cancelled())
@@ -294,6 +311,7 @@ class Session:
         while lo < hi:
             mid = (lo + hi) // 2
             if deadline.expired():
+                _note_deadline_expired()
                 return finish(SAT, best)
             if self._ctx.cancelled():
                 return finish(SAT, best, cancelled=True)
@@ -304,6 +322,7 @@ class Session:
             )
             queries.append((mid, status))
             self.queries.append((mid, status))
+            get_registry().inc("session_queries_total", status=status)
             self._ctx.emit("query", f"K={mid}: {status}", k=mid, status=status)
             if status == UNKNOWN:
                 return finish(SAT, best, cancelled=self._ctx.cancelled())

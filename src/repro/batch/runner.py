@@ -43,6 +43,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
 
+from ..obs.metrics import get_registry, scoped_registry
 from ..resilience import Deadline, RetryPolicy, append_record
 from ..resilience.faults import fire as _fire_fault
 from .manifest import TaskSpec, as_task, load_plugins
@@ -65,24 +66,30 @@ def _execute_attempt(
     deadline = Deadline.after(task_timeout)
     _fire_fault("attempt", backend)
 
-    try:
-        graph = task.graph.build()
-        problem = task.problem(graph)
-        time_limit = task.time_limit
-        if task_timeout is not None:
-            time_limit = (
-                task_timeout if time_limit is None
-                else min(time_limit, task_timeout)
+    # A fresh ambient metrics registry scopes the attempt's counters:
+    # the deterministic snapshot lands in the JSONL record, identical
+    # for identical work whether the attempt ran inline or in a worker
+    # process (the --jobs 1 vs --jobs 4 byte-comparability contract).
+    with scoped_registry() as registry:
+        try:
+            graph = task.graph.build()
+            problem = task.problem(graph)
+            time_limit = task.time_limit
+            if task_timeout is not None:
+                time_limit = (
+                    task_timeout if time_limit is None
+                    else min(time_limit, task_timeout)
+                )
+            pipeline = task.pipeline(backend=backend, time_limit=time_limit)
+            result = pipeline.run(
+                problem, cancel=deadline.expired if deadline.bounded else None
             )
-        pipeline = task.pipeline(backend=backend, time_limit=time_limit)
-        result = pipeline.run(
-            problem, cancel=deadline.expired if deadline.bounded else None
-        )
-    except Exception as exc:  # noqa: BLE001 - reported, never fatal to the batch
-        return "error", error_record(
-            f"{type(exc).__name__}: {exc}", seconds=time.monotonic() - start
-        )
+        except Exception as exc:  # noqa: BLE001 - reported, never fatal to the batch
+            return "error", error_record(
+                f"{type(exc).__name__}: {exc}", seconds=time.monotonic() - start
+            )
     record = result_to_record(result, include_coloring=include_coloring)
+    record["metrics"] = registry.snapshot(deterministic_only=True)
     record["seconds"] = round(time.monotonic() - start, 6)
     if conclusive(result, task.kind):
         outcome = "ok"
@@ -318,6 +325,8 @@ class BatchRunner:
         pending = deque(i for i in range(len(self.tasks)) if i not in skip)
         flights: Dict[int, _Flight] = {}
         while pending or flights:
+            get_registry().gauge(
+                "batch_queue_depth", len(pending) + len(flights))
             while pending and len(flights) < self.jobs:
                 index = pending.popleft()
                 flights[index] = self._launch(ctx, index, states[index])
@@ -450,6 +459,8 @@ class BatchRunner:
             "outcome": outcome,
             "seconds": record.get("seconds"),
         })
+        get_registry().inc("batch_attempts_total",
+                           outcome=outcome, backend=state.backend)
         if outcome == "ok":
             self._finalize(index, state, outcome, record, emitter)
             return True
@@ -492,6 +503,11 @@ class BatchRunner:
         final["backend"] = backend
         final["outcome"] = outcome
         final["attempts"] = state.attempts
+        registry = get_registry()
+        registry.inc("batch_tasks_total", outcome=outcome)
+        seconds = record.get("seconds")
+        if isinstance(seconds, (int, float)):
+            registry.observe_seconds("batch_task_seconds", float(seconds))
         emitter.add(index, final)
 
     # --------------------------------------------------------------- summary

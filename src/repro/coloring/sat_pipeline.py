@@ -44,6 +44,8 @@ from ..core.formula import Formula
 from ..graphs.cliques import clique_lower_bound
 from ..graphs.coloring_heuristics import dsatur
 from ..graphs.graph import Graph
+from ..obs.hooks import active_tracer
+from ..obs.metrics import get_registry
 from ..resilience import Deadline
 from ..sat.factory import new_solver
 from ..sat.preprocessing import preprocess as preprocess_cnf
@@ -52,6 +54,14 @@ from ..sat.result import SAT, UNKNOWN, UNSAT, SolverStats
 from ..sat.vsids import VSIDS
 from .encoding import add_color_activation_literals
 from .reduce import extend_coloring, peel_low_degree, solve_with_reduction
+
+
+def _note_deadline_expired(where: str = "descent") -> None:
+    """Record a budget expiry as a traced event and a counter."""
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.deadline_expired(where)
+    get_registry().inc("deadline_expired_total", where=where)
 
 
 def encode_k_coloring_cnf(
@@ -329,6 +339,10 @@ class IncrementalKSearch:
         solver = self.solver
         n = self.graph.num_vertices
         old_max = self.max_k
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.grow(old_max, new_max_k)
+        get_registry().inc("ksearch_grow_total")
         # Retire the old at-least-one generation (ext satisfies it).
         ok = solver.add_clause([self._ext])
         for c in range(old_max + 1, new_max_k + 1):
@@ -373,8 +387,10 @@ class IncrementalKSearch:
         sweep and accumulate what it reclaimed.
         """
         removed = self.solver.collect_level0_satisfied()
+        registry = get_registry()
         for key, count in removed.items():
             self.gc_stats[key] += count
+            registry.inc(f"ksearch_gc_{key}_total", count)
 
     def _prepare_heuristics(self, k: int, carry: bool) -> None:
         """Re-seed the decision heuristics for the next K query.
@@ -479,11 +495,21 @@ class IncrementalKSearch:
             assumptions: List[int] = []
         else:
             assumptions = self.assumptions_for(k)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.k_query_begin(k, permanent)
         result = self.solver.solve(
             assumptions=assumptions, time_limit=time_limit,
             should_stop=should_stop,
         )
         self.stats.merge(result.stats)
+        status = SAT if result.is_sat else UNSAT if result.is_unsat else UNKNOWN
+        run = result.stats
+        if tracer is not None:
+            tracer.k_query_end(k, status, run.conflicts, run.decisions,
+                               run.propagations, run.restarts)
+        get_registry().inc("ksearch_queries_total", status=status)
+        get_registry().observe("ksearch_query_conflicts", run.conflicts)
         if result.is_sat:
             coloring: Dict[int, int] = {}
             model = result.model
@@ -677,6 +703,7 @@ def chromatic_number_sat(
         k = ub - 1
         while k >= lb:
             if deadline.expired():
+                _note_deadline_expired()
                 return finish(SAT, k + 1)
             if should_stop is not None and should_stop():
                 return finish(SAT, k + 1)
@@ -700,6 +727,7 @@ def chromatic_number_sat(
     while lo < hi:
         mid = (lo + hi) // 2
         if deadline.expired():
+            _note_deadline_expired()
             return finish(SAT, hi)
         if should_stop is not None and should_stop():
             return finish(SAT, hi)
@@ -803,6 +831,7 @@ def _chromatic_number_incremental(
         k = ub - 1
         while k >= lb:
             if deadline.expired():
+                _note_deadline_expired()
                 return finish(SAT, k + 1, best_kernel)
             if should_stop is not None and should_stop():
                 return finish(SAT, k + 1, best_kernel)
@@ -827,6 +856,7 @@ def _chromatic_number_incremental(
     while lo < hi:
         mid = (lo + hi) // 2
         if deadline.expired():
+            _note_deadline_expired()
             return finish(SAT, hi, best_kernel)
         if should_stop is not None and should_stop():
             return finish(SAT, hi, best_kernel)

@@ -1,0 +1,95 @@
+"""Trace inspection CLI.
+
+Usage::
+
+    python -m repro.obs report trace.bin [--json]
+    python -m repro.obs dump trace.bin [--limit N] [--json]
+
+``report`` renders the per-phase timing / conflict-rate profile of a
+solver trace (``--json`` emits the machine-readable profile dict);
+``dump`` lists individual records with decoded field names.  Traces
+are produced with ``--trace`` on the solve commands or the
+:func:`repro.obs.tracing` context manager (docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .report import build_profile, decode_record, render_report
+from .trace import TraceError, read_trace
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the per-phase profile of a trace (text or --json)."""
+    log = read_trace(args.trace)
+    profile = build_profile(log)
+    if args.json:
+        print(json.dumps(profile, sort_keys=True, indent=2))
+    else:
+        print(render_report(profile))
+    return 0
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    """Pretty-print decoded records (all fields named, codes mapped)."""
+    log = read_trace(args.trace)
+    records = log.records[: args.limit] if args.limit else log.records
+    if args.json:
+        print(json.dumps([decode_record(r) for r in records], indent=2))
+    else:
+        t_us = 0
+        for record in records:
+            t_us += record.dt_us
+            decoded = decode_record(record)
+            fields = decoded.get("fields")
+            detail = (" ".join(f"{k}={v}" for k, v in fields.items())
+                      if fields is not None
+                      else f"({decoded['payload_bytes']} payload bytes)")
+            print(f"{t_us / 1e6:12.6f}s  {decoded['event']:16s} {detail}")
+        if args.limit and len(log.records) > args.limit:
+            print(f"... {len(log.records) - args.limit} more record(s)")
+    if log.truncated_bytes:
+        print(f"note: {log.truncated_bytes} byte(s) of torn tail dropped",
+              file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect binary solver traces (docs/TRACE_FORMAT.md).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", help="per-phase timing / conflict-rate profile")
+    p_report.add_argument("trace", help="trace file (see --trace / tracing())")
+    p_report.add_argument("--json", action="store_true",
+                          help="emit the machine-readable profile dict")
+    p_report.set_defaults(func=cmd_report)
+
+    p_dump = sub.add_parser("dump", help="list individual trace records")
+    p_dump.add_argument("trace", help="trace file")
+    p_dump.add_argument("--limit", type=int, default=0,
+                        help="stop after N records (0 = all)")
+    p_dump.add_argument("--json", action="store_true",
+                        help="emit records as a JSON array")
+    p_dump.set_defaults(func=cmd_dump)
+
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

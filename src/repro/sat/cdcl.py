@@ -39,6 +39,7 @@ import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.formula import Formula
+from ..obs.metrics import get_registry
 from .luby import luby_sequence
 from .result import SAT, UNKNOWN, UNSAT, SolveResult, SolverStats
 from .vsids import VSIDS
@@ -119,6 +120,10 @@ class CDCLSolver:
         self.stats = SolverStats()
         self._unsat = False  # formula proved UNSAT at level 0
         self._dead_watchers = 0  # lazy-deletion debt; compacted in one sweep
+        # Event tracing (repro.obs): attached by the factory when a
+        # tracer is installed; None costs the hot loop one branch.
+        self.tracer = None
+        self.tracer_id = 0
         self._ensure_var(num_vars)
 
     # ------------------------------------------------------------ plumbing
@@ -479,6 +484,9 @@ class CDCLSolver:
             self.stats.deleted += 1
         self._dead_watchers += 2 * (len(candidates) - cut)
         self.learned = keep + candidates[:cut]
+        if self.tracer is not None:
+            self.tracer.db_reduce(
+                self.tracer_id, len(candidates) - cut, len(self.learned))
         self.max_learned = int(self.max_learned * self.max_learned_growth)
         live = 2 * (len(self.clauses) + len(self.learned)) + 2
         if self._dead_watchers * 2 >= live:
@@ -540,6 +548,9 @@ class CDCLSolver:
         self._compact_watches()
         removed["watchers"] = before - self.watcher_count()
         self.stats.deleted += removed["clauses"] + removed["learned"]
+        if self.tracer is not None:
+            self.tracer.gc_sweep(self.tracer_id, removed["clauses"],
+                                 removed["learned"], removed["watchers"])
         return removed
 
     # --------------------------------------------------------------- solve
@@ -578,6 +589,10 @@ class CDCLSolver:
         conflicts_here = 0
         base = SolverStats()
         base.merge(self.stats)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.solve_begin(self.tracer_id, len(assumptions))
+            props_mark = self.stats.propagations
         while True:
             conflict = self._propagate()
             if conflict is not None:
@@ -593,6 +608,10 @@ class CDCLSolver:
                 self._record_learnt(learnt, lbd)
                 self.vsids.decay()
                 self._on_conflict()
+                if tracer is not None:
+                    tracer.conflict(self.tracer_id, bt, lbd,
+                                    self.stats.propagations - props_mark)
+                    props_mark = self.stats.propagations
                 if conflict_limit is not None and conflicts_here >= conflict_limit:
                     return self._finish(UNKNOWN, start, base, run)
                 if should_stop is not None and (conflicts_here & 63) == 0:
@@ -605,6 +624,8 @@ class CDCLSolver:
                 if conflicts_here >= budget:
                     budget = conflicts_here + next(restarts)
                     self.stats.restarts += 1
+                    if tracer is not None:
+                        tracer.restart(self.tracer_id, conflicts_here)
                     # Assumption-aware restart: keep the assumption
                     # prefix (and everything it implied) assigned.
                     self._backtrack(min(assume_level, self.decision_level))
@@ -660,6 +681,18 @@ class CDCLSolver:
         run.learned = self.stats.learned - base.learned
         run.deleted = self.stats.deleted - base.deleted
         run.time_seconds = time.monotonic() - start
+        if self.tracer is not None:
+            self.tracer.solve_end(
+                self.tracer_id, status, run.conflicts, run.decisions,
+                run.propagations, run.restarts, run.learned, run.deleted)
+        registry = get_registry()
+        registry.inc("solver_solve_total", status=status)
+        registry.inc("solver_conflicts_total", run.conflicts)
+        registry.inc("solver_decisions_total", run.decisions)
+        registry.inc("solver_propagations_total", run.propagations)
+        registry.inc("solver_restarts_total", run.restarts)
+        registry.observe("solver_solve_conflicts", run.conflicts)
+        registry.observe_seconds("solver_solve_seconds", run.time_seconds)
         return SolveResult(status, stats=run)
 
 

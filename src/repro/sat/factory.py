@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..obs.hooks import active_tracer
+from ..obs.metrics import get_registry
 from .cdcl import CDCLSolver
 
 SolverFactory = Callable[..., CDCLSolver]
@@ -26,9 +28,17 @@ def new_solver(num_vars: int = 0, **kwargs: object) -> CDCLSolver:
     """Construct a solver through the currently-installed factory.
 
     Accepts the :class:`CDCLSolver` constructor signature; any
-    registered replacement must too.
+    registered replacement must too.  Being the one construction
+    chokepoint also makes this the observability seam: when a tracer
+    is installed (:func:`repro.obs.tracing`), every solver built here
+    is attached to it at birth.
     """
-    return _factory(num_vars=num_vars, **kwargs)
+    solver = _factory(num_vars=num_vars, **kwargs)
+    get_registry().inc("solver_created_total")
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.attach(solver)
+    return solver
 
 
 def set_solver_factory(factory: SolverFactory) -> SolverFactory:

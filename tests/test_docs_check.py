@@ -1,0 +1,139 @@
+"""The docs gate's checking logic (scripts/check_docs.py).
+
+Pins the three behaviours the gate relies on: GitHub's heading -> anchor
+slug rules (including dedup suffixes), link/anchor resolution over real
+files, and the AST docstring-coverage walk over the public API.  The
+final test runs the gate against the repo itself — the same invocation
+CI's docs job makes — so a broken link or a coverage dip fails here
+before it fails there.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "scripts", "check_docs.py",
+)
+
+
+@pytest.fixture()
+def check_docs():
+    spec = importlib.util.spec_from_file_location("check_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# ------------------------------------------------------------- slug rules
+
+@pytest.mark.parametrize("heading,slug", [
+    ("Quick start", "quick-start"),
+    ("Observability: traces, metrics, profiles",
+     "observability-traces-metrics-profiles"),
+    ("`repro.obs` internals", "reproobs-internals"),
+    ("The [docs](docs/architecture.md) index", "the-docs-index"),
+    ("UPPER_case_and-dashes", "upper_case_and-dashes"),
+])
+def test_github_slug(check_docs, heading, slug):
+    assert check_docs.github_slug(heading, {}) == slug
+
+
+def test_github_slug_dedup_suffixes(check_docs):
+    seen = {}
+    assert check_docs.github_slug("Same", seen) == "same"
+    assert check_docs.github_slug("Same", seen) == "same-1"
+    assert check_docs.github_slug("Same", seen) == "same-2"
+
+
+# -------------------------------------------------------- heading anchors
+
+def test_heading_anchors_skip_code_fences(check_docs, tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "# Title\n"
+        "## Real section\n"
+        "```\n"
+        "# not a heading, just a shell comment\n"
+        "```\n"
+        "## Real section\n")
+    anchors = check_docs.heading_anchors(str(doc))
+    assert anchors == {"title", "real-section", "real-section-1"}
+
+
+# ------------------------------------------------------- link resolution
+
+def test_check_links_good_and_broken(check_docs, tmp_path):
+    (tmp_path / "other.md").write_text("# Other title\n")
+    doc = tmp_path / "index.md"
+    doc.write_text(
+        "[ok file](other.md)\n"
+        "[ok anchor](other.md#other-title)\n"
+        "[ok external](https://example.com/nope)\n"
+        "[bad file](missing.md)\n"
+        "[bad anchor](other.md#no-such-heading)\n")
+    errors = check_docs.check_links([str(doc)])
+    assert len(errors) == 2
+    assert any("broken link -> missing.md" in e for e in errors)
+    assert any("broken anchor -> other.md#no-such-heading" in e
+               for e in errors)
+
+
+def test_check_links_same_document_fragment(check_docs, tmp_path):
+    doc = tmp_path / "self.md"
+    doc.write_text("# Here\n[jump](#here)\n[bad](#gone)\n")
+    errors = check_docs.check_links([str(doc)])
+    assert len(errors) == 1
+    assert "#gone" in errors[0]
+
+
+# --------------------------------------------------- docstring coverage
+
+def test_public_objects_walk(check_docs):
+    import ast
+    tree = ast.parse(
+        '"""Module doc."""\n'
+        "def documented():\n"
+        '    """Yes."""\n'
+        "def bare():\n"
+        "    pass\n"
+        "def _private():\n"
+        "    pass\n"
+        "class Thing:\n"
+        '    """Doc."""\n'
+        "    def method(self):\n"
+        "        pass\n"
+        "    def _hidden(self):\n"
+        "        pass\n")
+    objects = dict(check_docs.public_objects(tree, "mod"))
+    assert objects == {
+        "mod": True,
+        "mod.documented": True,
+        "mod.bare": False,
+        "mod.Thing": True,
+        "mod.Thing.method": False,
+    }
+
+
+def test_repo_docstring_coverage_above_floor(check_docs):
+    documented, total, missing = check_docs.docstring_coverage()
+    assert total > 0
+    assert len(missing) == total - documented
+    pct = 100.0 * documented / total
+    assert pct >= check_docs.DOC_FLOOR
+
+
+# -------------------------------------------------------------- the gate
+
+def test_docs_gate_passes_on_repo(check_docs, capsys):
+    assert check_docs.main([]) == 0
+    out = capsys.readouterr().out
+    assert "0 broken" in out
+
+
+def test_docs_gate_fails_on_impossible_floor(check_docs, capsys):
+    assert check_docs.main(["--floor", "100"]) == 1
+    out = capsys.readouterr().out
+    assert "below the 100.0% floor" in out
