@@ -42,7 +42,8 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_DIR = os.path.join(REPO, "benchmarks")
 
 # The modules that produce every gated counter (the bench-smoke set).
-MODULES = ("bench_solver_micro.py", "bench_preprocessing.py")
+MODULES = ("bench_solver_micro.py", "bench_preprocessing.py",
+           "bench_parallel.py")
 
 # One gate: (file stem, entry match, field, direction, tolerance).
 #   direction "max": fresh <= base * (1 + tol)   (counter must not grow)
@@ -99,6 +100,32 @@ GATES = [
      "units", "eq", 0.0),
     ("preprocessing", {"instance": "subsumption-indexed-10k"},
      "subsumed", "eq", 0.0),
+    # Execution tiers (bench_parallel): every pool tier reproduces the
+    # same answer on the 3-component union, the process tier keeps its
+    # wall-clock standing against the threaded tier (loose — the ratio
+    # is hardware-dependent; cpus is recorded in the baseline), and the
+    # portfolio race stays a first-conclusive-cancels-the-rest affair
+    # with the exchanged bounds meeting at the optimum.
+    ("parallel", {"instance": "pool-tier-processes"},
+     "chromatic_number", "eq", 0.0),
+    ("parallel", {"instance": "pool-tier-processes"},
+     "components", "eq", 0.0),
+    ("parallel", {"instance": "pool-tier-processes"},
+     "solvers_created", "eq", 0.0),
+    ("parallel", {"instance": "pool-tier-threads"},
+     "chromatic_number", "eq", 0.0),
+    ("parallel", {"instance": "pool-tier-sequential"},
+     "chromatic_number", "eq", 0.0),
+    ("parallel", {"instance": "pool-tier-aggregate"},
+     "process_vs_threads_speedup", "min", 0.50),
+    ("parallel", {"instance": "portfolio-race-gnp42"},
+     "chromatic_number", "eq", 0.0),
+    ("parallel", {"instance": "portfolio-race-gnp42"},
+     "cancelled", "eq", 0.0),
+    ("parallel", {"instance": "portfolio-race-gnp42"},
+     "ub", "eq", 0.0),
+    ("parallel", {"instance": "portfolio-race-gnp42"},
+     "lb", "eq", 0.0),
 ]
 
 

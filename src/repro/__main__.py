@@ -93,6 +93,7 @@ def _pipeline_from_args(args, backend: str) -> Pipeline:
             incremental=getattr(args, "incremental", True),
             strategy=getattr(args, "strategy", None),
             split_components=getattr(args, "split_components", True),
+            pool_jobs=getattr(args, "pool_jobs", 0),
         )
     )
 
@@ -168,13 +169,23 @@ def cmd_color(args) -> int:
 
 def cmd_chromatic(args) -> int:
     graph = _load(args.graph)
-    backend = "cdcl-incremental" if args.incremental else "cdcl-scratch"
+    if args.portfolio:
+        backend = "portfolio"
+    elif args.incremental:
+        backend = "cdcl-incremental"
+    else:
+        backend = "cdcl-scratch"
     pipeline = _pipeline_from_args(args, backend=backend)
     result = _run_observed(args, pipeline, ChromaticProblem(graph))
     print(f"status:           {result.status}")
     print(f"chromatic number: {result.chromatic_number}"
           + ("" if result.status == "OPTIMAL" else " (upper bound; not proved)"))
-    if result.components:
+    race = next((s for s in result.stages if s.name == "race"), None)
+    if race is not None:
+        winner = race.details.get("winner") or "(none)"
+        mode = (f"portfolio race ({len(race.details['racers'])} racers, "
+                f"winner {winner}, {race.details['cancelled']} cancelled)")
+    elif result.components:
         mode = (f"component pool ({len(result.components)} components, "
                 f"{result.solvers_created} persistent solvers)")
     elif args.incremental:
@@ -366,6 +377,15 @@ def main(argv=None) -> int:
              "per-component Session pool (one persistent solver per "
              "component); --no-split-components keeps one solver over "
              "the whole kernel")
+    p_chrom.add_argument(
+        "--pool-jobs", type=int, default=0, metavar="N",
+        help="run component descents on N worker processes (crash-"
+             "isolated, true parallelism); 0 keeps the in-process pool")
+    p_chrom.add_argument(
+        "--portfolio", action="store_true",
+        help="race cdcl-incremental, pb-pueblo and exact-dsatur on the "
+             "whole problem; first conclusive answer cancels the rest "
+             "(racers exchange bounds while running)")
     p_chrom.add_argument("--trace", default=None, metavar="FILE",
                          help="write a binary solver event trace to FILE "
                               "(render: python -m repro.obs report FILE)")

@@ -35,6 +35,7 @@ from typing import Iterator, List, Optional, Set, Tuple
 from .core import (
     KIND_NESTED_FUNC,
     KIND_PROCESS_EXECUTOR,
+    KIND_THREAD_EXECUTOR,
     Finding,
     Rule,
     ScopeResolver,
@@ -513,13 +514,20 @@ class PoolBoundaryRule(Rule):
     and unpickled in the worker: lambdas and closures fail at submit
     time at best, or silently capture parent-side state (open handles,
     live solvers) at worst.  Worker payloads must be top-level
-    picklables, as ``repro.batch``'s ``_worker_entry`` is."""
+    picklables, as ``repro.batch``'s ``_worker_entry`` is.
+
+    Thread executors are held to the same bar even though the GIL would
+    let closures through: every thread fan-out in this codebase is a
+    process fan-out waiting to happen (the component pool made exactly
+    that migration), and a closure at the submission boundary is the
+    one thing that blocks it."""
 
     rule_id = "RPR006"
-    title = "process-pool payloads must be top-level picklables"
+    title = "executor/pool payloads must be top-level picklables"
     rationale = (
         "repro.batch runs a process-per-attempt pool; a lambda or closure "
-        "in the submission path dies in pickle, taking the fleet with it"
+        "in the submission path dies in pickle, taking the fleet with it — "
+        "and thread-executor closures block the thread->process migration"
     )
 
     def applies_to(self, rel: str) -> bool:
@@ -534,10 +542,16 @@ class PoolBoundaryRule(Rule):
             if isinstance(func, ast.Attribute):
                 if func.attr in _POOL_SUBMIT_ATTRS:
                     submit_name = func.attr
-                elif func.attr == "submit" and isinstance(func.value, ast.Name):
+                elif (
+                    func.attr in ("submit", "map")
+                    and isinstance(func.value, ast.Name)
+                ):
                     info = resolver.scope_for(node)
-                    if info.kind_of(func.value.id) == KIND_PROCESS_EXECUTOR:
-                        submit_name = "submit"
+                    if info.kind_of(func.value.id) in (
+                        KIND_PROCESS_EXECUTOR,
+                        KIND_THREAD_EXECUTOR,
+                    ):
+                        submit_name = func.attr
             if submit_name is None:
                 continue
             payloads: List[ast.expr] = list(node.args)
@@ -558,9 +572,9 @@ class PoolBoundaryRule(Rule):
                 yield source.finding(
                     self.rule_id,
                     call,
-                    f"lambda passed into process-pool `{submit_name}(...)`: "
+                    f"lambda passed into pool/executor `{submit_name}(...)`: "
                     "lambdas do not pickle — hoist it to a module-level "
-                    "function",
+                    "function so the fan-out can move to processes",
                 )
             elif isinstance(sub, ast.Name):
                 info = resolver.scope_for(call)
@@ -569,7 +583,7 @@ class PoolBoundaryRule(Rule):
                         self.rule_id,
                         call,
                         f"nested function `{sub.id}` passed into "
-                        f"process-pool `{submit_name}(...)`: closures do "
+                        f"pool/executor `{submit_name}(...)`: closures do "
                         "not pickle — hoist it to module level and pass "
                         "state explicitly",
                     )

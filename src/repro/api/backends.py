@@ -19,6 +19,10 @@ Registered engines:
 ``cdcl-scratch``   pure-CNF CDCL, one fresh solver per K query
 ``brute``          exhaustive enumeration (tiny instances; the oracle)
 ``exact-dsatur``   DSATUR branch and bound (problem-specific baseline)
+``portfolio``      races the engines in ``SolveConfig.racers`` in worker
+                   processes; first conclusive answer cancels the rest,
+                   racers exchange bounds (and optionally short learned
+                   clauses) while they run
 =================  =========================================================
 """
 
@@ -502,3 +506,9 @@ register_backend(CdclBackend("cdcl-incremental", incremental=True))
 register_backend(CdclBackend("cdcl-scratch", incremental=False))
 register_backend(BruteForceBackend())
 register_backend(ExactDSaturBackend())
+
+# Imported last: the portfolio backend races the engines above, so it
+# needs the registry populated (and the module imports this one).
+from .portfolio import PortfolioBackend  # noqa: E402
+
+register_backend(PortfolioBackend(), aliases=("race",))

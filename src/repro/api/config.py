@@ -81,6 +81,13 @@ class SimplifyConfig:
     enabled: bool = True
 
 
+#: Default racer line-up of the ``portfolio`` backend: one persistent
+#: CDCL descent, one PB optimizer, one problem-specific branch and bound.
+DEFAULT_RACERS: Tuple[str, ...] = (
+    "cdcl-incremental", "pb-pueblo", "exact-dsatur",
+)
+
+
 @dataclass(frozen=True)
 class SolveConfig:
     """Which engine answers the query, and its resource budget.
@@ -89,8 +96,15 @@ class SolveConfig:
     solver backend through the per-component Session pool whenever the
     kernel is disconnected: each component gets its own persistent
     solver and the results recombine as the max over components.
-    ``pool_threads`` optionally fans the pool's component descents
-    across that many threads (0 = sequential, largest component first).
+    ``pool_jobs`` fans the pool's component descents across that many
+    *worker processes* (0 = sequential, largest component first) — the
+    multi-core path.  ``pool_threads`` is the deprecated GIL-bound
+    thread fan-out, kept as an alias with a warning.
+
+    ``racers`` names the engines the ``portfolio`` backend races
+    (``"backend"`` or ``"backend:strategy"`` specs); ``share_clauses``
+    additionally exchanges short learned clauses between the portfolio's
+    CDCL racers.
     """
 
     backend: str = "pb-pbs2"
@@ -100,19 +114,41 @@ class SolveConfig:
     incremental: bool = True
     use_bounds: bool = True
     split_components: bool = True
+    pool_jobs: int = 0
     pool_threads: int = 0
+    racers: Tuple[str, ...] = DEFAULT_RACERS
+    share_clauses: bool = False
 
     def __post_init__(self) -> None:
         if self.strategy is not None:
             _check_choice(self.strategy, SEARCH_STRATEGIES, "search strategy")
+        if self.pool_jobs < 0:
+            raise ValueError(f"pool_jobs must be >= 0, got {self.pool_jobs}")
         if self.pool_threads < 0:
             raise ValueError(
                 f"pool_threads must be >= 0, got {self.pool_threads}"
             )
+        if self.pool_threads > 0:
+            import warnings
+
+            warnings.warn(
+                "SolveConfig.pool_threads is deprecated: the threaded "
+                "component fan-out is GIL-bound; use pool_jobs (worker "
+                "processes) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         # Imported lazily: the backend registry imports this module.
-        from .backends import check_backend_name
+        from .backends import check_backend_name, resolve_backend_name
 
         check_backend_name(self.backend)
+        racers = tuple(self.racers)
+        object.__setattr__(self, "racers", racers)
+        for spec in racers:
+            name, _, strategy = spec.partition(":")
+            resolve_backend_name(name)
+            if strategy:
+                _check_choice(strategy, SEARCH_STRATEGIES, "search strategy")
 
 
 @dataclass(frozen=True)
@@ -186,7 +222,10 @@ class PipelineConfig:
             "incremental": self.solve.incremental,
             "use_bounds": self.solve.use_bounds,
             "split_components": self.solve.split_components,
+            "pool_jobs": self.solve.pool_jobs,
             "pool_threads": self.solve.pool_threads,
+            "racers": self.solve.racers,
+            "share_clauses": self.solve.share_clauses,
             "prep_fraction": self.budget.prep_fraction,
             "order": self.order,
         }

@@ -190,6 +190,30 @@ def _cancelled_result(stages: List[StageStat], info: PipelineInfo) -> Result:
     return Result(status=UNKNOWN, stages=stages, pipeline=info, cancelled=True)
 
 
+def _detection_key(graph: Graph, budget: int, sbp_kind: str,
+                   simplified_ran: bool, node_limit: Optional[int]):
+    """Content-derived cache key for a symmetry-detection report.
+
+    Keyed on the graph's canonical edge-set certificate (isomorphic
+    inputs under the same budget/config share one detection run —
+    batch workers re-solving the same instance family stop re-detecting
+    per task), plus everything that changes the formula detection sees.
+    Returns None — uncacheable — when the canonicalizer exhausts its
+    node budget.
+    """
+    from hashlib import sha1
+
+    from ..symmetry.canonical import canonical_form
+
+    try:
+        certificate = canonical_form(graph, node_limit=node_limit)
+    except RuntimeError:
+        return None
+    digest = sha1(
+        repr((graph.num_vertices, certificate)).encode()).hexdigest()
+    return (digest, budget, sbp_kind, simplified_ran)
+
+
 def _detect_and_break(
     formula,
     key,
@@ -197,12 +221,19 @@ def _detect_and_break(
     cache: Optional[Dict],
 ) -> SymmetryReport:
     """Detect symmetries and append lex-leader SBPs (cached by key)."""
-    if cache is not None and key is not None and key in cache:
-        report = cache[key]
-    else:
-        report = detect_symmetries(formula, node_limit=node_limit, compute_order=False)
-        if cache is not None and key is not None:
+    if cache is not None and key is not None:
+        hit = key in cache
+        get_registry().inc(
+            "symmetry_cache_total", result="hit" if hit else "miss")
+        if hit:
+            report = cache[key]
+        else:
+            report = detect_symmetries(
+                formula, node_limit=node_limit, compute_order=False)
             cache[key] = report
+    else:
+        report = detect_symmetries(
+            formula, node_limit=node_limit, compute_order=False)
     add_symmetry_breaking_predicates(formula, report.generators)
     return report
 
@@ -432,9 +463,12 @@ def _run_formula_stages(
         elif stage_name == "detect":
             if sym.instance_dependent:
                 ctx.emit("detect", "detecting symmetries + lex-leader SBPs")
+                # The canonical certificate costs a graph traversal, so
+                # compute the key only when a cache is actually wired in.
                 key = (
-                    (graph.name, budget, sym.sbp_kind, simplified_ran)
-                    if graph.name else None
+                    _detection_key(graph, budget, sym.sbp_kind,
+                                   simplified_ran, sym.detection_node_limit)
+                    if ctx.detection_cache is not None else None
                 )
                 detection = _detect_and_break(
                     formula, key, sym.detection_node_limit, ctx.detection_cache

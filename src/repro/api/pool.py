@@ -8,8 +8,8 @@ another and a hard component stalled the easy ones.
 :class:`ComponentSessionPool` closes that gap — after the kernel splits,
 every connected component gets its own persistent
 :class:`~repro.api.Session` (one :class:`IncrementalKSearch` each), the
-pool schedules the component descents largest-first (optionally fanning
-them across threads), and the answers recombine exactly:
+pool schedules the component descents largest-first, and the answers
+recombine exactly:
 
 ``chi(G) = max(lb, max over components of chi(component))``
 
@@ -18,6 +18,29 @@ where ``lb`` is the clique bound the kernel was peeled at.  The merged
 component (size, status, K-query trace, solver count) so callers can
 see exactly which component cost what — and ``solvers_created`` equals
 the number of components that needed a solver, the pool's contract.
+
+Execution tiers (``SolveConfig.pool_jobs`` / ``pool_threads``):
+
+* **sequential** (the default) — largest component first, with the
+  pool's :class:`~repro.resilience.Deadline` shared via
+  :meth:`Deadline.share` so unused budget flows forward;
+* **process fan-out** (``jobs > 1``) — each component *subproblem*
+  (graph + config + budget slice, never the live Session) is serialized
+  to a worker process, with a per-component child deadline, a parent-
+  side hard kill deadline, crash retry via
+  :class:`~repro.resilience.RetryPolicy` (then an inline fallback solve,
+  so a dying worker can never lose the answer), and a shared stop event
+  that cancels siblings the moment one component proves UNSAT;
+* **thread fan-out** (``threads > 1``, deprecated) — the historical
+  GIL-bound tier, kept for measurement; it shares the same stop-event
+  early exit.
+
+Whatever the tier, results recombine identically — the differential
+harness (``tests/test_component_pool.py``) holds pool == single-solver
+== scratch == exact-dsatur across all of them.  In process mode the
+parent's sessions stay cold (worker state dies with the worker); the
+pool stays reusable, but a second call re-solves rather than riding
+warm solvers.
 
 The ``cdcl-incremental`` backend routes chromatic problems through the
 pool by default whenever the kernel is disconnected
@@ -29,8 +52,12 @@ follow-up queries.
 from __future__ import annotations
 
 import copy
+import multiprocessing
+import multiprocessing.connection
+import threading
 import time
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..coloring.reduce import component_subgraphs, extend_coloring, peel_low_degree
 from ..coloring.solve import PipelineInfo
@@ -39,7 +66,9 @@ from ..graphs.cliques import clique_lower_bound
 from ..graphs.graph import Graph
 from ..obs.hooks import active_tracer
 from ..obs.metrics import get_registry
-from ..resilience import Deadline
+from ..resilience import Deadline, RetryPolicy
+from ..resilience.faults import fire as _fire_fault
+from ..resilience.faults import install_env_faults
 from ..sat.result import FEASIBLE, OPTIMAL, SAT, UNKNOWN, UNSAT, SolverStats
 from .config import PipelineConfig
 from .results import ComponentTrace, ProgressEvent, Result, RunContext, StageStat
@@ -49,6 +78,10 @@ from .session import Session
 #: Minimum fraction of the pool's remaining budget any one component's
 #: descent receives, however small the component (the "floor slice").
 _POOL_FLOOR = 0.1
+
+#: Worker deaths are transient: retried this many times per component
+#: before the parent solves the component inline instead.
+_WORKER_RETRIES = 1
 
 
 def _kernelize(graph: Graph):
@@ -72,6 +105,77 @@ def _stats_delta(after, before):
     return delta
 
 
+def _solve_pool_component(pool: "ComponentSessionPool", index: int,
+                          limit: Optional[float], strategy: str,
+                          max_colors: Optional[int]) -> Optional[Result]:
+    """Thread-tier worker: one component descent on the pool's Session.
+
+    Module-level (not a closure) so the submission obeys RPR006's
+    no-closures-at-the-pool-boundary rule for every executor tier.
+    Returns ``None`` when a sibling already settled the answer before
+    this descent started (its trace is then absent from the merge, the
+    same as the sequential early exit); flips the pool's stop event on
+    a definitive UNSAT so in-flight siblings cancel mid-query.
+    """
+    if pool._stop.is_set():
+        return None
+    result = pool._solve_component(index, limit, strategy, max_colors)
+    if result.status == UNSAT:
+        pool._stop.set()
+    return result
+
+
+def _component_worker(payload: Dict[str, object], conn, stop_event) -> None:
+    """Process-tier worker entry: solve one component subproblem.
+
+    The payload is the serialized *subproblem* — the component graph,
+    the (frozen, picklable) pipeline config and the budget slice —
+    never a live Session.  The full :class:`Result` object travels back
+    over the pipe (every field is a plain picklable dataclass).
+    ``stop_event`` is the cross-process cancel: the Session polls it
+    inside ``CDCLSolver.solve`` via ``should_stop``, so a sibling's
+    UNSAT interrupts this descent within one conflict batch.
+    """
+    try:
+        install_env_faults()
+        _fire_fault("racer", f"component:{payload['index']}")
+        session = Session(
+            payload["graph"],
+            config=payload["config"],
+            cancel=stop_event.is_set,
+        )
+        result = session.chromatic(
+            strategy=payload["strategy"],
+            time_limit=payload["time_limit"],
+            max_colors=payload["max_colors"],
+            lower_bound=payload["lower_bound"],
+        )
+        message: Tuple[str, object] = ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 - must report, not vanish
+        message = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(message)
+    except (BrokenPipeError, OSError):
+        pass
+    finally:
+        conn.close()
+
+
+class _PoolFlight:
+    """One in-flight component worker (``kill_at`` is the parent-side
+    hard deadline on the *real* clock — the backstop that holds even
+    when a fault skews the worker's own clock)."""
+
+    __slots__ = ("index", "process", "conn", "kill_at", "retries")
+
+    def __init__(self, index, process, conn, kill_at, retries):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.kill_at = kill_at
+        self.retries = retries
+
+
 class ComponentSessionPool:
     """One persistent :class:`Session` per kernel component.
 
@@ -79,14 +183,15 @@ class ComponentSessionPool:
     (chi-preserving, like the whole-kernel incremental descent), splits
     the kernel into connected components, and lazily owns one Session —
     hence one persistent solver — per component.  :meth:`chromatic`
-    runs the per-component K descents (largest component first, or
-    concurrently with ``threads > 1``) and recombines status, coloring,
-    stats, query traces and per-component provenance into one
-    :class:`Result`.
+    runs the per-component K descents (largest component first;
+    ``jobs > 1`` fans them across worker processes, ``threads > 1``
+    across threads) and recombines status, coloring, stats, query
+    traces and per-component provenance into one :class:`Result`.
 
-    The pool is reusable: sessions keep their learned clauses between
-    calls, so a second :meth:`chromatic` (or a direct query on a member
-    of :attr:`sessions`) rides the already-warm solvers.
+    The pool is reusable: in the sequential and thread tiers sessions
+    keep their learned clauses between calls, so a second
+    :meth:`chromatic` (or a direct query on a member of
+    :attr:`sessions`) rides the already-warm solvers.
     """
 
     def __init__(
@@ -96,14 +201,22 @@ class ComponentSessionPool:
         on_progress: Optional[Callable[[ProgressEvent], None]] = None,
         cancel: Optional[Callable[[], bool]] = None,
         threads: int = 0,
+        jobs: int = 0,
         _kernelized: Optional[tuple] = None,
     ):
         self.graph = graph
         self.config = config if config is not None else PipelineConfig()
         if threads < 0:
             raise ValueError(f"threads must be >= 0, got {threads}")
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
         self.threads = threads
+        self.jobs = jobs
         self._ctx = RunContext(on_progress=on_progress, cancel=cancel)
+        # Set when one component's answer settles the whole pool (a
+        # definitive UNSAT): in-flight sibling descents poll it through
+        # their Session cancel predicate and stop mid-query.
+        self._stop = threading.Event()
         reduce_start = time.monotonic()
         if _kernelized is not None:
             # The backend probe already kernelized; don't redo the work.
@@ -119,7 +232,7 @@ class ComponentSessionPool:
                 sub,
                 config=self.config,
                 on_progress=self._forward_progress(index),
-                cancel=cancel,
+                cancel=self._session_cancel,
             )
             for index, sub in enumerate(self._subgraphs)
         ]
@@ -141,8 +254,16 @@ class ComponentSessionPool:
 
     @property
     def solvers_created(self) -> int:
-        """Persistent solvers instantiated so far (at most one per component)."""
+        """Persistent solvers instantiated so far (at most one per component).
+
+        Counts this process's sessions: component descents that ran in
+        worker processes report their solver counts through the merged
+        Result instead."""
         return sum(session.solvers_created for session in self.sessions)
+
+    def _session_cancel(self) -> bool:
+        """Sibling-settled stop OR the caller's own cancel predicate."""
+        return self._stop.is_set() or self._ctx.cancelled()
 
     def _forward_progress(self, index: int):
         if self._ctx.on_progress is None:
@@ -176,9 +297,12 @@ class ComponentSessionPool:
         unioned — disjoint components may share color classes — and the
         peeled vertices are greedily re-inserted.  ``max_colors`` caps
         the answer exactly: a cap below the clique bound, or below any
-        single component's chromatic number, is UNSAT.
+        single component's chromatic number, is UNSAT — and a component
+        proving UNSAT cancels every in-flight sibling (their traces are
+        simply absent from, or marked cancelled in, the merged result).
         """
         t0 = time.monotonic()
+        self._stop.clear()
         if time_limit is None:
             time_limit = self.config.solve.time_limit
         info = PipelineInfo(
@@ -231,49 +355,20 @@ class ComponentSessionPool:
         # searchable slice instead of being starved by a giant sibling.
         weights = [float(sub.num_vertices) for sub in self._subgraphs]
 
-        def solve_component(index: int, limit: Optional[float]) -> Result:
-            if tracer is not None:
-                tracer.component_begin(
-                    index, self._subgraphs[index].num_vertices)
-            self._ctx.emit(
-                "pool",
-                f"[component {index}] descent on "
-                f"{self._subgraphs[index].num_vertices} vertices",
-            )
-            result = self.sessions[index].chromatic(
-                strategy=strategy,
-                time_limit=limit,
-                max_colors=max_colors,
-                # Colors below the global clique bound cannot change the
-                # recombined max — no component descends past it.
-                lower_bound=self.clique_bound,
-            )
-            if tracer is not None:
-                tracer.component_end(index, result.status, result.num_colors)
-            registry.inc("pool_component_total", status=result.status)
-            return result
-
         # Sessions report *cumulative* stats; snapshot them so a reused
         # pool attributes only this call's work to this call's Result.
+        # (Process-tier workers report self-contained per-call stats, so
+        # their baseline is the zero snapshot.)
         baselines = [copy.copy(session.stats) for session in self.sessions]
         indices = range(len(self.components))
-        if self.threads > 1 and len(self.components) > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            # Concurrent components split the remaining budget upfront;
-            # each child deadline is clamped by the pool's own.
-            children = deadline.split(weights, floor_fraction=_POOL_FLOOR)
-            with ThreadPoolExecutor(
-                max_workers=min(self.threads, len(self.components))
-            ) as executor:
-                results = list(
-                    executor.map(
-                        lambda i: solve_component(i, children[i].remaining()),
-                        indices,
-                    )
-                )
+        if self.jobs > 1 and len(self.components) > 1:
+            pairs = self._run_processes(
+                deadline, weights, strategy, max_colors)
+            baselines = [SolverStats() for _ in self.components]
+        elif self.threads > 1 and len(self.components) > 1:
+            pairs = self._run_threads(deadline, weights, strategy, max_colors)
         else:
-            results = []
+            pairs = []
             for index in indices:
                 # Sequential weighted allotment, recomputed against the
                 # still-unsolved components' total weight: budget a fast
@@ -283,21 +378,254 @@ class ComponentSessionPool:
                     sum(weights[index:]),
                     floor_fraction=_POOL_FLOOR,
                 )
-                result = solve_component(index, limit)
-                results.append(result)
+                result = self._solve_component(
+                    index, limit, strategy, max_colors)
+                pairs.append((index, result))
                 if result.status == UNSAT:
                     # Definitive: one component over the cap settles the
                     # whole answer — don't pay for the rest (their
                     # traces are simply absent from the merged result).
                     break
-        merged = self._merge(results, baselines, info, reduce_stage, t0)
+        merged = self._merge(pairs, baselines, info, reduce_stage, t0)
         if tracer is not None:
             tracer.pool_end(merged.status, merged.num_colors)
         return merged
 
+    def _solve_component(self, index: int, limit: Optional[float],
+                         strategy: str, max_colors: Optional[int]) -> Result:
+        """One component descent on this process's Session (seq/thread)."""
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.component_begin(index, self._subgraphs[index].num_vertices)
+        self._ctx.emit(
+            "pool",
+            f"[component {index}] descent on "
+            f"{self._subgraphs[index].num_vertices} vertices",
+        )
+        result = self.sessions[index].chromatic(
+            strategy=strategy,
+            time_limit=limit,
+            max_colors=max_colors,
+            # Colors below the global clique bound cannot change the
+            # recombined max — no component descends past it.
+            lower_bound=self.clique_bound,
+        )
+        if tracer is not None:
+            tracer.component_end(index, result.status, result.num_colors)
+        get_registry().inc("pool_component_total", status=result.status)
+        return result
+
+    # ------------------------------------------------------------------
+    # Thread tier (deprecated, kept for measurement)
+    # ------------------------------------------------------------------
+
+    def _run_threads(self, deadline: Deadline, weights: List[float],
+                     strategy: str,
+                     max_colors: Optional[int]) -> List[Tuple[int, Result]]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        # Concurrent components split the remaining budget upfront;
+        # each child deadline is clamped by the pool's own.
+        children = deadline.split(weights, floor_fraction=_POOL_FLOOR)
+        with ThreadPoolExecutor(
+            max_workers=min(self.threads, len(self.components))
+        ) as executor:
+            futures = [
+                executor.submit(
+                    _solve_pool_component, self, index,
+                    children[index].remaining(), strategy, max_colors,
+                )
+                for index in range(len(self.components))
+            ]
+            results = [future.result() for future in futures]
+        return [
+            (index, result)
+            for index, result in enumerate(results)
+            if result is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Process tier (the multi-core path)
+    # ------------------------------------------------------------------
+
+    def _run_processes(self, deadline: Deadline, weights: List[float],
+                       strategy: str,
+                       max_colors: Optional[int]) -> List[Tuple[int, Result]]:
+        """Fan component subproblems across worker processes.
+
+        Per component: a child deadline split from the pool's (clamped
+        to the parent), a parent-side ``kill_at`` hard deadline on the
+        real clock, retry-on-death via :class:`RetryPolicy`, and an
+        inline fallback solve when retries run out — a crashing worker
+        degrades throughput, never correctness.  A definitive UNSAT
+        sets the shared stop event (workers poll it in-query) and the
+        parent terminates the stragglers.
+        """
+        ctx = multiprocessing.get_context()
+        stop_event = ctx.Event()
+        retry_policy = RetryPolicy(max_retries=_WORKER_RETRIES)
+        children = deadline.split(weights, floor_fraction=_POOL_FLOOR)
+        registry = get_registry()
+        tracer = active_tracer()
+        pending = deque(range(len(self.components)))
+        flights: Dict[int, _PoolFlight] = {}
+        pairs: List[Tuple[int, Result]] = []
+        unsat = False
+        max_workers = min(self.jobs, len(self.components))
+
+        def launch(index: int, retries: int) -> None:
+            limit = children[index].remaining()
+            if tracer is not None and retries == 0:
+                tracer.component_begin(
+                    index, self._subgraphs[index].num_vertices)
+            self._ctx.emit(
+                "pool",
+                f"[component {index}] worker descent on "
+                f"{self._subgraphs[index].num_vertices} vertices",
+            )
+            recv, send = ctx.Pipe(duplex=False)
+            payload = {
+                "index": index,
+                "graph": self._subgraphs[index],
+                "config": self.config,
+                "strategy": strategy,
+                "time_limit": limit,
+                "max_colors": max_colors,
+                "lower_bound": self.clique_bound,
+            }
+            process = ctx.Process(
+                target=_component_worker,
+                args=(payload, send, stop_event),
+                daemon=True,
+            )
+            process.start()
+            send.close()  # the parent only reads
+            kill_at = Deadline.after(
+                limit + max(1.0, 0.5 * limit) if limit is not None else None
+            )
+            flights[index] = _PoolFlight(index, process, recv, kill_at, retries)
+
+        def settle(index: int, result: Result) -> None:
+            nonlocal unsat
+            pairs.append((index, result))
+            if tracer is not None:
+                tracer.component_end(index, result.status, result.num_colors)
+            registry.inc("pool_component_total", status=result.status)
+            if result.status == UNSAT:
+                unsat = True
+                stop_event.set()
+                self._stop.set()
+
+        def fallback(index: int, note: str) -> None:
+            """Solve the component inline with whatever budget is left."""
+            self._ctx.emit("pool", f"[component {index}] {note}; "
+                                   "solving inline in the parent")
+            registry.inc("pool_worker_fallback_total")
+            settle(index, self.sessions[index].chromatic(
+                strategy=strategy,
+                time_limit=children[index].remaining(),
+                max_colors=max_colors,
+                lower_bound=self.clique_bound,
+            ))
+
+        while pending or flights:
+            if self._ctx.cancelled():
+                # The caller's cancel reaches workers through the shared
+                # event; they return verified best-so-far results, which
+                # the loop keeps draining below.
+                stop_event.set()
+            while pending and len(flights) < max_workers and not unsat:
+                launch(pending.popleft(), 0)
+            if not flights:
+                break
+            self._wait(flights)
+            for index in list(flights):
+                flight = flights[index]
+                if flight.conn.poll():
+                    try:
+                        outcome, value = flight.conn.recv()
+                    except (EOFError, OSError):
+                        outcome, value = "died", "worker pipe closed"
+                    self._reap(flight)
+                    del flights[index]
+                    if outcome == "ok":
+                        settle(index, value)
+                    elif retry_policy.should_retry("died", flight.retries) \
+                            and outcome == "died":
+                        launch(index, flight.retries + 1)
+                    else:
+                        fallback(index, f"worker failed ({value})")
+                elif not flight.process.is_alive():
+                    # Died without reporting (crash, OOM, injected
+                    # kill).  Drain first: a message may have raced in
+                    # between poll() and the death check.
+                    if flight.conn.poll():
+                        continue  # handled by the poll branch next pass
+                    self._reap(flight)
+                    del flights[index]
+                    registry.inc("pool_worker_deaths_total")
+                    if retry_policy.should_retry("died", flight.retries):
+                        launch(index, flight.retries + 1)
+                    else:
+                        fallback(index, "worker died twice")
+                elif flight.kill_at.expired():
+                    # The worker overran its slice past the grace — the
+                    # cooperative deadline failed (hung solver, skewed
+                    # clock).  Kill it; the inline fallback sees an
+                    # exhausted child budget and degrades instantly to
+                    # the verified greedy bound.
+                    self._kill(flight)
+                    self._reap(flight)
+                    del flights[index]
+                    registry.inc("pool_worker_kills_total")
+                    fallback(index, "worker overran its deadline")
+            if unsat:
+                # One component settled the answer: stop paying for the
+                # rest.  Their traces are absent, as in the sequential
+                # early exit.
+                pending.clear()
+                for flight in flights.values():
+                    self._kill(flight)
+                    self._reap(flight)
+                flights.clear()
+        return pairs
+
+    @staticmethod
+    def _wait(flights: Dict[int, _PoolFlight]) -> None:
+        """Block until a worker reports, dies, or a kill deadline nears."""
+        timeout = 0.2
+        for flight in flights.values():
+            remaining = flight.kill_at.remaining()
+            if remaining is not None:
+                timeout = min(timeout, remaining)
+        handles = [f.conn for f in flights.values()]
+        handles += [f.process.sentinel for f in flights.values()]
+        multiprocessing.connection.wait(handles, timeout=timeout)
+
+    @staticmethod
+    def _kill(flight: _PoolFlight) -> None:
+        flight.process.terminate()
+        flight.process.join(1.0)
+        if flight.process.is_alive():
+            flight.process.kill()
+            flight.process.join(1.0)
+
+    @staticmethod
+    def _reap(flight: _PoolFlight) -> None:
+        flight.conn.close()
+        flight.process.join(10.0)
+        if flight.process.is_alive():
+            flight.process.kill()
+            flight.process.join(1.0)
+        flight.process.close()
+
+    # ------------------------------------------------------------------
+    # Recombination
+    # ------------------------------------------------------------------
+
     def _merge(
         self,
-        results: List[Result],
+        pairs: List[Tuple[int, Result]],
         baselines: List,
         info: PipelineInfo,
         reduce_stage: StageStat,
@@ -306,7 +634,8 @@ class ComponentSessionPool:
         merged = Result(status=OPTIMAL, stages=[reduce_stage], pipeline=info)
         kernel_coloring: Dict[int, int] = {}
         proved_lb = self.clique_bound
-        for index, result in enumerate(results):
+        pairs = sorted(pairs, key=lambda pair: pair[0])
+        for index, result in pairs:
             call_stats = _stats_delta(result.stats, baselines[index])
             trace = ComponentTrace(
                 index=index,
@@ -341,6 +670,12 @@ class ComponentSessionPool:
             for local, color in sorted(result.coloring.items()):
                 kernel_coloring[self.components[index][local]] = color
         merged.stages.append(StageStat("solve", time.monotonic() - t0))
+        if merged.status == UNSAT and not self._ctx.cancelled():
+            # The pool's own early-exit cancelled the siblings; that is
+            # scheduling, not caller cancellation, and the UNSAT answer
+            # is exact — the flags must not say otherwise.
+            merged.cancelled = False
+            merged.degraded = False
         if merged.status in (UNSAT, UNKNOWN):
             return merged
         coloring = extend_coloring(self.kernel, kernel_coloring)
@@ -384,6 +719,7 @@ def pooled_chromatic_result(problem, config, ctx):
         on_progress=ctx.on_progress,
         cancel=ctx.cancel,
         threads=config.solve.pool_threads,
+        jobs=config.solve.pool_jobs,
         _kernelized=kernelized,
     )
     strategy = config.solve.strategy or "linear"

@@ -12,7 +12,8 @@ JSON.  Each task combines:
   its budget;
 * the **pipeline knobs** (backend, fallback chain, SBP kind, strategy,
   AMO encoding, reduce/simplify toggles, per-component Session pooling
-  (``split_components``/``pool_threads``), per-engine time limit).
+  (``split_components``, ``pool_jobs`` worker processes, deprecated
+  ``pool_threads``), per-engine time limit).
 
 File formats: a ``.json`` manifest is either a JSON list of task dicts
 or ``{"defaults": {...}, "plugins": [...], "tasks": [...]}``; a
@@ -250,6 +251,7 @@ class TaskSpec:
     detection_node_limit: Optional[int] = None  # None = SymmetryConfig default
     incremental: bool = True
     split_components: bool = True
+    pool_jobs: int = 0
     pool_threads: int = 0
     time_limit: Optional[float] = None
 
@@ -327,6 +329,7 @@ class TaskSpec:
                 time_limit=time_limit,
                 incremental=self.incremental,
                 split_components=self.split_components,
+                pool_jobs=self.pool_jobs,
                 pool_threads=self.pool_threads,
             )
         )

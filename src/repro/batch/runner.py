@@ -60,8 +60,16 @@ def _execute_attempt(
     backend: str,
     task_timeout: Optional[float],
     include_coloring: bool,
+    detection_cache=None,
 ) -> Tuple[str, Dict[str, object]]:
-    """Run one (task, backend) attempt to completion in this process."""
+    """Run one (task, backend) attempt to completion in this process.
+
+    ``detection_cache`` is the pool-wide symmetry-detection cache (a
+    plain dict inline, a ``Manager().dict()`` proxy in workers), keyed
+    on the instance's canonical certificate — tasks re-solving the same
+    instance family reuse one detection run instead of re-detecting
+    per attempt.
+    """
     start = time.monotonic()
     deadline = Deadline.after(task_timeout)
     _fire_fault("attempt", backend)
@@ -82,7 +90,9 @@ def _execute_attempt(
                 )
             pipeline = task.pipeline(backend=backend, time_limit=time_limit)
             result = pipeline.run(
-                problem, cancel=deadline.expired if deadline.bounded else None
+                problem,
+                cancel=deadline.expired if deadline.bounded else None,
+                detection_cache=detection_cache,
             )
         except Exception as exc:  # noqa: BLE001 - reported, never fatal to the batch
             return "error", error_record(
@@ -113,6 +123,7 @@ def _worker_entry(payload: Dict[str, object], conn) -> None:
             payload["backend"],
             payload["task_timeout"],
             payload["include_coloring"],
+            detection_cache=payload.get("detection_cache"),
         )
     except BaseException as exc:  # noqa: BLE001 - must report, not vanish
         message = ("error", error_record(f"{type(exc).__name__}: {exc}"))
@@ -267,6 +278,9 @@ class BatchRunner:
         self.include_colorings = include_colorings
         self._on_record = on_record
         self._jsonl = jsonl
+        # Set per run by _run_pool (a Manager().dict() proxy) when any
+        # task runs instance-dependent detection.
+        self._detection_cache = None
 
     # ------------------------------------------------------------------ run
     def run(self) -> BatchReport:
@@ -305,8 +319,15 @@ class BatchRunner:
             emitter.add(index, dict(record))
         return frozenset(done)
 
+    def _needs_detection_cache(self) -> bool:
+        """Only instance-dependent tasks ever consult the cache."""
+        return any(task.instance_dependent for task in self.tasks)
+
     # ----------------------------------------------------------- inline mode
     def _run_inline(self, states, emitter, skip=frozenset()) -> None:
+        # One plain dict shared across the whole batch: repeated
+        # instances re-detect once, not once per task.
+        detection_cache = {} if self._needs_detection_cache() else None
         for index, task in enumerate(self.tasks):
             if index in skip:
                 continue
@@ -315,6 +336,7 @@ class BatchRunner:
                 outcome, record = _execute_attempt(
                     task, state.backend, self.task_timeout,
                     self.include_colorings,
+                    detection_cache=detection_cache,
                 )
                 if self._settle(index, state, outcome, record, emitter):
                     break
@@ -322,6 +344,23 @@ class BatchRunner:
     # ------------------------------------------------------------- pool mode
     def _run_pool(self, states, emitter, skip=frozenset()) -> None:
         ctx = self._mp_context()
+        # The cross-worker symmetry-detection cache: a manager-hosted
+        # dict proxy shipped in every worker payload, so detection runs
+        # once per canonical instance across the whole pool.  The
+        # manager process is only paid for when a task can use it.
+        manager = None
+        self._detection_cache = None
+        if self._needs_detection_cache():
+            manager = ctx.Manager()
+            self._detection_cache = manager.dict()
+        try:
+            self._pool_loop(ctx, states, emitter, skip)
+        finally:
+            self._detection_cache = None
+            if manager is not None:
+                manager.shutdown()
+
+    def _pool_loop(self, ctx, states, emitter, skip) -> None:
         pending = deque(i for i in range(len(self.tasks)) if i not in skip)
         flights: Dict[int, _Flight] = {}
         while pending or flights:
@@ -394,6 +433,7 @@ class BatchRunner:
             "task_timeout": self.task_timeout,
             "include_coloring": self.include_colorings,
             "plugins": self.plugins,
+            "detection_cache": self._detection_cache,
         }
         process = ctx.Process(
             target=_worker_entry, args=(payload, send), daemon=True

@@ -81,11 +81,12 @@ def prepare_formula(
     """Encode + SBPs; returns the encoding and the detection report.
 
     The detection report is ``None`` unless instance-dependent SBPs were
-    requested.  ``detection_cache`` (an ordinary dict, keyed by
-    ``(graph.name, num_colors, sbp_kind)``) lets callers reuse detection
-    results across solver runs on the same deterministic encoding — the
-    encoding depends only on the graph and parameters, so the cache is
-    exact, not approximate.  Unnamed graphs are never cached.
+    requested.  ``detection_cache`` (a plain dict, or a
+    ``multiprocessing.Manager().dict()`` shared across batch workers)
+    lets callers reuse detection results across solver runs on the same
+    deterministic encoding — keys derive from the graph's *canonical
+    certificate* plus the encoding parameters, so isomorphic inputs
+    share one detection run and the cache is exact, not approximate.
 
     This helper keeps the historical encode-then-detect order for
     callers that want the raw encoding; the standard pipeline
@@ -95,9 +96,13 @@ def prepare_formula(
     encoding = apply_sbp(encoding, sbp_kind)
     report: Optional[SymmetryReport] = None
     if instance_dependent:
-        from ..api.pipeline import _detect_and_break
+        from ..api.pipeline import _detect_and_break, _detection_key
 
-        key = (graph.name, num_colors, sbp_kind, False) if graph.name else None
+        key = (
+            _detection_key(graph, num_colors, sbp_kind, False,
+                           detection_node_limit)
+            if detection_cache is not None else None
+        )
         report = _detect_and_break(
             encoding.formula, key, detection_node_limit, detection_cache
         )

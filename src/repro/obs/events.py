@@ -33,6 +33,9 @@ POOL_BEGIN = 13
 POOL_END = 14
 DEADLINE_EXPIRED = 15
 DEGRADED = 16
+RACE_BEGIN = 17
+RACE_BOUND = 18
+RACE_END = 19
 
 EVENT_NAMES: Dict[int, str] = {
     SOLVE_BEGIN: "solve_begin",
@@ -51,6 +54,9 @@ EVENT_NAMES: Dict[int, str] = {
     POOL_END: "pool_end",
     DEADLINE_EXPIRED: "deadline_expired",
     DEGRADED: "degraded",
+    RACE_BEGIN: "race_begin",
+    RACE_BOUND: "race_bound",
+    RACE_END: "race_end",
 }
 
 # Field names per event, in payload order.  ``solver`` is the tracer-
@@ -77,6 +83,11 @@ EVENT_FIELDS: Dict[int, Tuple[str, ...]] = {
     POOL_END: ("status", "colors"),
     DEADLINE_EXPIRED: ("where",),
     DEGRADED: ("where", "status"),
+    # ``racer`` indexes the portfolio's racer list (emission order);
+    # bound kind 0 = upper bound tightened, 1 = lower bound raised.
+    RACE_BEGIN: ("racers",),
+    RACE_BOUND: ("racer", "kind", "value"),
+    RACE_END: ("winner", "status", "cancelled"),
 }
 
 # --- string <-> code tables ------------------------------------------

@@ -133,6 +133,23 @@ class Tracer:
         self.emit(ev.POOL_END, ev.status_code(status),
                   0 if colors is None else colors + 1)
 
+    # -- portfolio racing ----------------------------------------------
+
+    def race_begin(self, racers: int) -> None:
+        """A portfolio race started with this many racer processes."""
+        self.emit(ev.RACE_BEGIN, racers)
+
+    def race_bound(self, racer: int, kind: str, value: int) -> None:
+        """A racer published a bound (``kind`` is ``"ub"`` or ``"lb"``)."""
+        self.emit(ev.RACE_BOUND, racer, 0 if kind == "ub" else 1, value)
+
+    def race_end(self, winner: Optional[int], status: str,
+                 cancelled: int) -> None:
+        """The race settled; ``cancelled`` racers were stopped mid-run."""
+        # winner is shifted by one on the wire: 0 means "no winner".
+        self.emit(ev.RACE_END, 0 if winner is None else winner + 1,
+                  ev.status_code(status), cancelled)
+
     # -- resilience events ---------------------------------------------
 
     def deadline_expired(self, where: str) -> None:

@@ -9,9 +9,10 @@ runner relies on this to keep ``--jobs 1`` and ``--jobs 4`` records
 comparable.
 
 Determinism contract: any metric whose name ends in ``_seconds``
-carries wall-clock time and is excluded from
-``snapshot(deterministic_only=True)``; everything else must be a pure
-function of the work performed.  The registry is thread-safe (the
+carries wall-clock time, and any ending in ``_cache_total`` counts
+shared-cache hits/misses (which depend on pool scheduling); both are
+excluded from ``snapshot(deterministic_only=True)``.  Everything else
+must be a pure function of the work performed.  The registry is thread-safe (the
 component pool records from worker threads) and ambient: callers reach
 it through :func:`get_registry`, and :func:`scoped_registry` pushes a
 fresh one for the duration of a batch attempt.
@@ -145,12 +146,16 @@ class MetricsRegistry:
         """Export the registry as a recursively sorted plain dict.
 
         With ``deterministic_only`` every metric whose base name ends
-        in ``_seconds`` is dropped: what remains must be identical for
-        identical work, regardless of machine or parallelism.
+        in ``_seconds`` (wall clock) or ``_cache_total`` (shared-cache
+        hit/miss, a function of pool scheduling) is dropped: what
+        remains must be identical for identical work, regardless of
+        machine or parallelism.
         """
         def keep(key: str) -> bool:
-            return not (deterministic_only
-                        and _base_name(key).endswith("_seconds"))
+            if not deterministic_only:
+                return True
+            base = _base_name(key)
+            return not base.endswith(("_seconds", "_cache_total"))
 
         with self._lock:
             counters = {k: self._counters[k]

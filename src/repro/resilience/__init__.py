@@ -36,6 +36,7 @@ from .faults import (
     active_plan,
     clear_faults,
     fire,
+    install_env_faults,
     install_faults,
     seeded_plan,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "corrupt_tail",
     "fire",
     "fsync_file",
+    "install_env_faults",
     "install_faults",
     "read_wal",
     "reset_clock",

@@ -19,10 +19,6 @@ Usage::
 
 from __future__ import annotations
 
-import os
+from .faults import install_env_faults
 
-from .faults import FAULTS_ENV, FaultPlan, install_faults
-
-_raw = os.environ.get(FAULTS_ENV)
-if _raw:
-    install_faults(FaultPlan.from_env(_raw))
+install_env_faults()

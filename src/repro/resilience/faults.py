@@ -12,6 +12,10 @@ named **injection points** scattered through the stack:
 ``solver``         fired on every ``solve()`` call of solvers built
                    through the :mod:`repro.sat.factory` seam (RPR005's
                    chokepoint) — the *sleep-in-query* / hang hook
+``racer``          fired at the top of every portfolio racer process
+                   (detail: the racer's backend spec) and by every
+                   component-pool worker ("component") — the
+                   *kill-a-racer-mid-race* hook
 =================  ========================================================
 
 Each spec names its point, a fault ``kind`` (``raise`` / ``sleep`` /
@@ -174,6 +178,19 @@ def install_faults(plan: FaultPlan) -> None:
         _previous_factory = set_solver_factory(faulty_factory)
 
 
+def install_env_faults() -> None:
+    """Install the ``REPRO_FAULTS`` plan, if the environment carries one.
+
+    The chaos plugin calls this on import in batch workers; the pool
+    and portfolio worker entry points call it directly (they are
+    spawned as bare processes, not through the plugin import hook), so
+    a serialized plan reaches every execution tier the same way.
+    """
+    raw = os.environ.get(FAULTS_ENV)
+    if raw:
+        install_faults(FaultPlan.from_env(raw))
+
+
 def clear_faults() -> None:
     """Remove the active plan and undo its seams (factory, clock)."""
     global _active, _previous_factory
@@ -195,7 +212,9 @@ def seeded_plan(seed: int) -> FaultPlan:
     locally from the seed alone.
     """
     rng = random.Random(seed)
-    scenario = rng.choice(("stage-raise", "solver-sleep", "attempt-kill", "skew"))
+    scenario = rng.choice(
+        ("stage-raise", "solver-sleep", "attempt-kill", "skew", "racer-kill")
+    )
     specs: Dict[str, FaultSpec] = {
         "stage-raise": FaultSpec(
             point=f"stage:{rng.choice(('encode', 'solve', 'query'))}",
@@ -216,6 +235,9 @@ def seeded_plan(seed: int) -> FaultPlan:
             kind="skew",
             at=1,
             seconds=rng.choice((5.0, 30.0)),
+        ),
+        "racer-kill": FaultSpec(
+            point="racer", kind="kill", at=1, match="cdcl"
         ),
     }
     return FaultPlan([specs[scenario]])

@@ -1,6 +1,6 @@
-"""RPR006 positives: unpicklable payloads at the process-pool boundary."""
+"""RPR006 positives: unpicklable payloads at the pool/executor boundary."""
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 
 def launch(ctx, payload, pool):
@@ -21,3 +21,14 @@ def fan_out(items):
         return item * 2
 
     return [executor.submit(work, item) for item in items]  # violation
+
+
+def fan_out_threads(items, solver):
+    executor = ThreadPoolExecutor()
+    results = list(executor.map(lambda i: solver.solve(i), items))  # violation
+
+    def work(item):
+        return solver.solve(item)
+
+    results.extend(executor.submit(work, item) for item in items)  # violation
+    return results

@@ -1,10 +1,14 @@
-"""RPR006 negatives: top-level payloads; thread pools may close over."""
+"""RPR006 negatives: top-level payloads on every pool/executor tier."""
 
 from concurrent.futures import ThreadPoolExecutor
 
 
 def _worker_entry(payload):
     return payload
+
+
+def _solve_item(solver, item):
+    return solver.solve(item)
 
 
 def launch(ctx, payload):
@@ -14,9 +18,7 @@ def launch(ctx, payload):
 
 
 def fan_out(items, solver):
+    # fine: thread executors take the same top-level payloads as process
+    # pools, so the tier stays swappable
     executor = ThreadPoolExecutor()
-
-    def work(item):
-        return solver.solve(item)  # closures are fine in-process
-
-    return [executor.submit(work, item) for item in items]
+    return [executor.submit(_solve_item, solver, item) for item in items]

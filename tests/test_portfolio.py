@@ -1,0 +1,137 @@
+"""Differential + structural tests for the portfolio racing backend.
+
+The portfolio's contract mirrors the component pool's: racing several
+engines on the same problem NEVER changes answers — the first
+conclusive result is exactly what the reference engine
+(``cdcl-incremental``) would have produced, because every racer is
+sound and complete on the kinds it supports.  The tests here check
+that contract differentially, plus the structural pieces: the race
+stage record (winner, cancellations, exchanged bounds), first-
+conclusive-cancels-the-rest, validation, and the clause-sharing
+variant.
+"""
+
+import pytest
+
+from repro.api import ChromaticProblem, DecisionProblem, Pipeline
+from repro.coloring.verify import is_proper
+from repro.experiments.instances import get_instance
+from repro.graphs.generators import gnp_graph, mycielski_graph, queens_graph
+
+RACERS = ("cdcl-incremental", "pb-pueblo", "exact-dsatur")
+
+
+def race(problem, **solve_kwargs):
+    solve_kwargs.setdefault("time_limit", 120)
+    return (
+        Pipeline()
+        .solve(backend="portfolio", **solve_kwargs)
+        .run(problem)
+    )
+
+
+def reference(problem):
+    return (
+        Pipeline()
+        .solve(backend="cdcl-incremental", time_limit=120)
+        .run(problem)
+    )
+
+
+def race_stage(result):
+    stage = next((s for s in result.stages if s.name == "race"), None)
+    assert stage is not None, "portfolio result carries no race stage"
+    return stage
+
+
+@pytest.mark.parametrize(
+    "graph",
+    [
+        get_instance("myciel3").graph(),
+        get_instance("myciel4").graph(),
+        queens_graph(5, 5),
+        gnp_graph(18, 0.4, seed=7),
+    ],
+    ids=["myciel3", "myciel4", "queen5_5", "gnp18"],
+)
+def test_portfolio_matches_reference_chromatic(graph):
+    """The differential property: racing changes wall-clock, never answers."""
+    raced = race(ChromaticProblem(graph))
+    ref = reference(ChromaticProblem(graph))
+    assert ref.status == "OPTIMAL"
+    assert raced.status == "OPTIMAL"
+    assert raced.chromatic_number == ref.chromatic_number
+    assert raced.coloring is not None
+    assert is_proper(graph, raced.coloring)
+    assert len(set(raced.coloring.values())) == raced.chromatic_number
+
+
+def test_portfolio_first_conclusive_cancels_the_rest():
+    result = race(ChromaticProblem(get_instance("myciel4").graph()))
+    stage = race_stage(result)
+    assert tuple(stage.details["racers"]) == RACERS
+    assert stage.details["winner"] in RACERS
+    # Exactly the losers get cancelled: the winner's answer is in hand,
+    # so nobody runs to their own deadline.
+    assert stage.details["cancelled"] == len(RACERS) - 1
+    # Bounds met at the optimum: the exchanged ub/lb close the window.
+    assert stage.details["ub"] == stage.details["lb"] == 5
+    assert result.upper_bound == result.lower_bound == 5
+
+
+@pytest.mark.parametrize("k,expected", [(4, "UNSAT"), (5, "SAT")])
+def test_portfolio_decision_queries(k, expected):
+    graph = get_instance("myciel4").graph()  # chromatic number 5
+    raced = race(DecisionProblem(graph, k))
+    assert raced.status == expected
+    if expected == "SAT":
+        assert raced.coloring is not None
+        assert is_proper(graph, raced.coloring)
+        assert len(set(raced.coloring.values())) <= k
+
+
+def test_portfolio_clause_sharing_matches_reference():
+    """CDCL-vs-CDCL racing with learned-clause exchange stays sound:
+    the descents are assumption-only, so every exported clause is
+    implied by the shared formula."""
+    graph = get_instance("myciel4").graph()
+    raced = race(
+        ChromaticProblem(graph),
+        racers=("cdcl-incremental:linear", "cdcl-incremental:binary",
+                "exact-dsatur"),
+        share_clauses=True,
+    )
+    ref = reference(ChromaticProblem(graph))
+    assert raced.status == "OPTIMAL"
+    assert raced.chromatic_number == ref.chromatic_number == 5
+    assert is_proper(graph, raced.coloring)
+
+
+def test_portfolio_cancellation_returns_cancelled_result():
+    result = (
+        Pipeline()
+        .solve(backend="portfolio", time_limit=120)
+        .run(ChromaticProblem(mycielski_graph(4)), cancel=lambda: True)
+    )
+    assert result.cancelled
+    assert result.status in ("FEASIBLE", "UNKNOWN")
+
+
+def test_portfolio_rejects_degenerate_lineups():
+    with pytest.raises(ValueError, match="at least 2"):
+        race(ChromaticProblem(mycielski_graph(3)),
+             racers=("cdcl-incremental",))
+    with pytest.raises(ValueError, match="itself"):
+        race(ChromaticProblem(mycielski_graph(3)),
+             racers=("portfolio", "cdcl-incremental"))
+
+
+def test_race_alias_resolves_to_portfolio():
+    result = (
+        Pipeline()
+        .solve(backend="race", time_limit=120)
+        .run(ChromaticProblem(get_instance("myciel3").graph()))
+    )
+    assert result.status == "OPTIMAL"
+    assert result.chromatic_number == 4
+    assert result.provenance.backend == "portfolio"

@@ -417,6 +417,58 @@ def test_fault_worker_kill_retries_then_falls_back():
     assert is_proper(mycielski_graph(3), coloring)
 
 
+def test_fault_clock_skew_in_pool_workers_respects_parent_budget():
+    """Deadline fairness under process fan-out: each worker re-creates
+    its child deadline from the parent's split, so a clock skewed
+    *inside* a worker (the plan rides ``REPRO_FAULTS`` into every
+    worker) can only shrink that worker's view of its slice — the pool
+    still finishes inside the parent budget and every answer stays a
+    verified coloring."""
+    import time as time_mod
+
+    plan = FaultPlan(
+        [FaultSpec(point="solver", kind="skew", at=1, seconds=1000.0)]
+    )
+    os.environ[FAULTS_ENV] = plan.to_env()
+    graph = disjoint_union(
+        mycielski_graph(3), mycielski_graph(4), queens_graph(4, 4)
+    )
+    t0 = time_mod.monotonic()
+    result = (
+        Pipeline()
+        .solve(backend="cdcl-incremental", time_limit=20, pool_jobs=3)
+        .run(ChromaticProblem(graph))
+    )
+    # Far under the 20s budget: the skew expires worker deadlines early
+    # instead of extending them past the parent's.
+    assert time_mod.monotonic() - t0 < 15.0
+    assert result.status in ("OPTIMAL", "FEASIBLE")
+    if result.status == "FEASIBLE":
+        assert result.degraded
+    assert result.coloring is not None
+    assert is_proper(graph, result.coloring)
+    assert result.num_colors >= 5  # honest: never undercuts myciel4's chi
+
+
+def test_fault_racer_kill_mid_race_still_answers():
+    """A racer SIGKILLed at its entry point (and again on its one
+    retry — plan counters are per-process) drops out of the race; the
+    survivors still deliver the proved optimum."""
+    plan = FaultPlan([FaultSpec(point="racer", kind="kill", match="cdcl")])
+    os.environ[FAULTS_ENV] = plan.to_env()
+    graph = mycielski_graph(4)
+    result = (
+        Pipeline()
+        .solve(backend="portfolio", time_limit=60)
+        .run(ChromaticProblem(graph))
+    )
+    assert result.status == "OPTIMAL"
+    assert result.chromatic_number == 5
+    assert is_proper(graph, result.coloring)
+    stage = next(s for s in result.stages if s.name == "race")
+    assert stage.details["winner"] in ("pb-pueblo", "exact-dsatur")
+
+
 # ==========================================================================
 # Crash-safe resume
 # ==========================================================================
@@ -513,7 +565,23 @@ def test_chaos_smoke_seeded_scenario():
     tasks = [
         {"graph": name, "fallback": ["exact-dsatur"]} for name in _GRAPHS
     ]
+    races = any(spec.point == "racer" for spec in plan.specs)
     kills = any(spec.kind == "kill" for spec in plan.specs)
+    if races:
+        # Worker-kill-during-race: the plan reaches each racer process
+        # through the environment; losing a racer must not change
+        # answers (the survivors race on).
+        os.environ[FAULTS_ENV] = plan.to_env()
+        for name, graph in _GRAPHS.items():
+            result = (
+                Pipeline()
+                .solve(backend="portfolio", time_limit=30)
+                .run(ChromaticProblem(graph))
+            )
+            assert result.status == "OPTIMAL"
+            assert result.chromatic_number == _EXPECTED_CHI[name]
+            assert is_proper(graph, result.coloring)
+        return
     if kills:
         # Worker kills need real worker processes; the plan reaches
         # them through the environment + the chaos plugin import hook.
